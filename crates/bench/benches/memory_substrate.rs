@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks for the memory substrate: cache accesses,
+//! page-table walks (cold and PWC-warm), and demand mapping.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nocstar::mem::{MemoryConfig, MemorySystem};
+use nocstar::prelude::*;
+
+fn bench_cache_access(c: &mut Criterion) {
+    c.bench_function("hierarchy_access_stream", |b| {
+        let mut cfg = MemoryConfig::haswell(4);
+        cfg.phys_capacity = 4 << 30;
+        let mut mem = MemorySystem::new(cfg);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 4096 + 64) % (1 << 28);
+            black_box(mem.access(
+                CoreId::new((addr % 4) as usize),
+                nocstar::types::PhysAddr::new(addr),
+                addr.is_multiple_of(3),
+            ))
+        })
+    });
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_walk");
+    group.bench_function("warm_pwc_walk", |b| {
+        let mut cfg = MemoryConfig::haswell(1);
+        cfg.phys_capacity = 4 << 30;
+        let mut mem = MemorySystem::new(cfg);
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x1234_5000);
+        mem.ensure_mapped(asid, va, PageSize::Size4K);
+        mem.walk(CoreId::new(0), asid, va);
+        b.iter(|| black_box(mem.walk(CoreId::new(0), asid, va)))
+    });
+    group.bench_function("spread_walks_16k_pages", |b| {
+        let mut cfg = MemoryConfig::haswell(1);
+        cfg.phys_capacity = 8 << 30;
+        let mut mem = MemorySystem::new(cfg);
+        let asid = Asid::new(1);
+        for p in 0..16_384u64 {
+            mem.ensure_mapped(asid, VirtAddr::new(p << 12), PageSize::Size4K);
+        }
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p.wrapping_mul(6364136223846793005).wrapping_add(1)) % 16_384;
+            black_box(mem.walk(CoreId::new(0), asid, VirtAddr::new(p << 12)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_demand_map(c: &mut Criterion) {
+    // Rotates over a bounded page pool: the first lap demand-maps, later
+    // laps exercise the map-or-return-existing path (Criterion's iteration
+    // counts would otherwise exhaust simulated physical memory).
+    c.bench_function("ensure_mapped_1m_page_pool", |b| {
+        let mut cfg = MemoryConfig::haswell(1);
+        cfg.phys_capacity = 32 << 30;
+        let mut mem = MemorySystem::new(cfg);
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 1) % 1_000_000;
+            black_box(mem.ensure_mapped(Asid::new(1), VirtAddr::new(p << 12), PageSize::Size4K))
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache_access, bench_walks, bench_demand_map);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion end-to-end benchmarks: full-system simulation throughput
+//! (the cost of one simulated access) for the main organizations, and
+//! workload-generation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use nocstar::prelude::*;
+use nocstar::workloads::trace::TraceSource;
+use nocstar::workloads::zipf::Zipf;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_8c_x_1000acc");
+    group.sample_size(10);
+    for org in [
+        TlbOrg::paper_private(),
+        TlbOrg::paper_distributed(),
+        TlbOrg::paper_nocstar(),
+    ] {
+        group.bench_function(org.label(), move |b| {
+            b.iter_batched(
+                || {
+                    let config = SystemConfig::new(8, org);
+                    let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+                    Simulation::new(config, workload)
+                },
+                |sim| black_box(sim.run(1_000)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_gen(c: &mut Criterion) {
+    c.bench_function("synthetic_trace_event", |b| {
+        let spec = Preset::Canneal.spec();
+        let mut trace = spec.trace(Asid::new(1), ThreadId::new(0), 7, true);
+        b.iter(|| black_box(trace.next_event()))
+    });
+    c.bench_function("zipf_sample_64k", |b| {
+        let zipf = Zipf::new(65_536, 0.9);
+        let mut rng = SmallRng::seed_from_u64(5);
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_sim, bench_workload_gen);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks for the TLB content structures: the hot
+//! paths of every simulated lookup.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nocstar::tlb::entry::TlbEntry;
+use nocstar::tlb::l1::L1Tlb;
+use nocstar::tlb::replacement::ReplacementPolicy;
+use nocstar::tlb::set_assoc::SetAssocTlb;
+use nocstar::types::{Asid, PageSize, PhysPageNum, VirtAddr, VirtPageNum};
+
+fn e4k(vpn: u64) -> TlbEntry {
+    TlbEntry::new(
+        Asid::new(1),
+        VirtPageNum::new(vpn, PageSize::Size4K),
+        PhysPageNum::new(vpn ^ 0x5555, PageSize::Size4K),
+    )
+}
+
+fn bench_set_assoc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_assoc");
+    group.bench_function("lookup_hit_1024e8w", |b| {
+        let mut tlb = SetAssocTlb::new(1024, 8, ReplacementPolicy::Lru);
+        for vpn in 0..1024 {
+            tlb.insert(e4k(vpn));
+        }
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn = (vpn + 1) % 1024;
+            black_box(tlb.lookup(Asid::new(1), VirtPageNum::new(vpn, PageSize::Size4K)))
+        });
+    });
+    group.bench_function("lookup_miss_1024e8w", |b| {
+        let mut tlb = SetAssocTlb::new(1024, 8, ReplacementPolicy::Lru);
+        let mut vpn = 1_000_000u64;
+        b.iter(|| {
+            vpn += 1;
+            black_box(tlb.lookup(Asid::new(1), VirtPageNum::new(vpn, PageSize::Size4K)))
+        });
+    });
+    group.bench_function("insert_with_eviction", |b| {
+        let mut tlb = SetAssocTlb::new(1024, 8, ReplacementPolicy::Lru);
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn += 1;
+            black_box(tlb.insert(e4k(vpn)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_l1(c: &mut Criterion) {
+    c.bench_function("l1_lookup_three_size_probe", |b| {
+        let mut l1 = L1Tlb::haswell();
+        for vpn in 0..64 {
+            l1.insert(e4k(vpn));
+        }
+        let mut va = 0u64;
+        b.iter(|| {
+            va = (va + 4096) % (64 * 4096);
+            black_box(l1.lookup(Asid::new(1), VirtAddr::new(va)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_set_assoc, bench_l1);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the design-choice ablations; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::ablation::run(nocstar_bench::Effort::from_env());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig03 experiment; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::fig03::run(nocstar_bench::Effort::from_env());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig04 experiment; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::fig04::run(nocstar_bench::Effort::from_env());
+}

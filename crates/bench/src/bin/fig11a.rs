@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11a experiment; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::fig11a::run(nocstar_bench::Effort::from_env());
+}

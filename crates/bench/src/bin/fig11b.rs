@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11b experiment; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::fig11b::run(nocstar_bench::Effort::from_env());
+}

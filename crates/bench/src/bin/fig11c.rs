@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11c experiment; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::fig11c::run(nocstar_bench::Effort::from_env());
+}

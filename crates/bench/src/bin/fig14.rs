@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig14 experiment; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::fig14::run(nocstar_bench::Effort::from_env());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig18 experiment; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::fig18::run(nocstar_bench::Effort::from_env());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's slice_ubench experiment; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::slice_ubench::run(nocstar_bench::Effort::from_env());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 experiment; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::table2::run(nocstar_bench::Effort::from_env());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 experiment; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::table3::run(nocstar_bench::Effort::from_env());
+}

@@ -1,0 +1,152 @@
+//! Ablations of NOCSTAR's design choices beyond the paper's own studies
+//! (DESIGN.md §4): the `HPCmax` pipelining degree, the arbiter
+//! priority-rotation period, the Table I bus baseline under TLB-like
+//! load, and the TLB replacement policy.
+
+use crate::{emit, parallel_map, Effort};
+use nocstar::noc::bus::BusNoc;
+use nocstar::noc::circuit::{AcquireMode, CircuitFabric};
+use nocstar::noc::traffic::run_uniform_random;
+use nocstar::noc::Interconnect;
+use nocstar::prelude::*;
+use nocstar::tlb::entry::TlbEntry;
+use nocstar::tlb::replacement::ReplacementPolicy;
+use nocstar::tlb::set_assoc::SetAssocTlb;
+use nocstar::workloads::trace::{TraceEvent, TraceSource};
+
+const WORKLOADS: [Preset; 4] = [
+    Preset::Canneal,
+    Preset::Graph500,
+    Preset::Gups,
+    Preset::Xsbench,
+];
+
+/// HPCmax sweep: full-system NOCSTAR speedup at 64 cores as the fabric's
+/// hops-per-cycle limit shrinks (more pipeline latches on long paths).
+fn hpc_sweep(effort: Effort) {
+    let cores = 64;
+    let mut table = Table::new(["HPCmax", "avg speedup vs private", "min", "max"]);
+    for hpc in [1usize, 2, 4, 8, 16] {
+        let speeds = parallel_map(WORKLOADS.to_vec(), |&preset| {
+            let base = effort.run(cores, TlbOrg::paper_private(), preset);
+            let org = TlbOrg::Nocstar {
+                slice_entries: 920,
+                hpc_max: hpc,
+                acquire: AcquireMode::OneWay,
+                ideal_fabric: false,
+            };
+            effort.run(cores, org, preset).speedup_vs(&base)
+        });
+        let s = Summary::of(speeds);
+        table.row([
+            hpc.to_string(),
+            format!("{:.3}", s.mean()),
+            format!("{:.3}", s.min()),
+            format!("{:.3}", s.max()),
+        ]);
+    }
+    emit(
+        "ablation_hpc",
+        "Ablation: NOCSTAR speedup vs HPCmax (64 cores)",
+        &table,
+    );
+}
+
+/// Rotation-period sweep: starvation shows up as tail latency under
+/// sustained synthetic load when the static priority never (or too
+/// rarely) rotates.
+fn rotation_sweep(effort: Effort) {
+    let mesh = MeshShape::square_for(64);
+    let cycles = if effort.quick { 1_500 } else { 5_000 };
+    let mut table = Table::new([
+        "rotation period",
+        "mean latency",
+        "max latency",
+        "% no contention",
+    ]);
+    for period in [10u64, 100, 1_000, 10_000, 1_000_000] {
+        let mut fabric = CircuitFabric::with_rotation_period(mesh, 16, AcquireMode::OneWay, period);
+        let report = run_uniform_random(&mut fabric, mesh, 0.12, cycles, 9);
+        let max = fabric.stats().latency.max();
+        table.row([
+            period.to_string(),
+            format!("{:.2}", report.mean_latency),
+            max.value().to_string(),
+            format!("{:.0}", report.no_contention_fraction * 100.0),
+        ]);
+    }
+    emit(
+        "ablation_rotation",
+        "Ablation: arbiter priority-rotation period near saturation (0.12 load, 64 cores)",
+        &table,
+    );
+}
+
+/// Bus baseline: Table I's qualitative "bandwidth −" made quantitative.
+fn bus_vs_fabric(effort: Effort) {
+    let mesh = MeshShape::square_for(64);
+    let cycles = if effort.quick { 1_000 } else { 4_000 };
+    let mut table = Table::new(["injection rate", "bus latency", "NOCSTAR latency"]);
+    for rate in [0.001, 0.005, 0.01, 0.02] {
+        let mut bus = BusNoc::new(mesh);
+        let b = run_uniform_random(&mut bus, mesh, rate, cycles, 3);
+        let mut fabric = CircuitFabric::new(mesh, 16, AcquireMode::OneWay);
+        let f = run_uniform_random(&mut fabric, mesh, rate, cycles, 3);
+        table.row([
+            format!("{rate}"),
+            format!("{:.2}", b.mean_latency),
+            format!("{:.2}", f.mean_latency),
+        ]);
+    }
+    emit(
+        "ablation_bus",
+        "Ablation: shared bus vs NOCSTAR fabric (64 cores; the bus saturates at ~1/64 rate)",
+        &table,
+    );
+}
+
+/// Replacement-policy sweep on the slice content array, driven by a real
+/// workload's post-L1 miss stream.
+fn replacement_sweep(_effort: Effort) {
+    let spec = Preset::Canneal.spec();
+    let mut table = Table::new(["policy", "miss rate %"]);
+    for (name, policy) in [
+        ("LRU (paper)", ReplacementPolicy::Lru),
+        ("FIFO", ReplacementPolicy::Fifo),
+        ("Random", ReplacementPolicy::Random),
+    ] {
+        let mut tlb = SetAssocTlb::new(1024, 8, policy);
+        let mut trace = spec.trace(Asid::new(1), ThreadId::new(0), 11, true);
+        let mut accesses = 0u64;
+        while accesses < 200_000 {
+            if let TraceEvent::Access(a) = trace.next_event() {
+                accesses += 1;
+                let vpn = a.va.page_number(trace.backing(a.va));
+                if tlb.lookup(Asid::new(1), vpn).is_none() {
+                    tlb.insert(TlbEntry::new(
+                        Asid::new(1),
+                        vpn,
+                        nocstar::types::addr::PhysPageNum::new(vpn.number(), vpn.page_size()),
+                    ));
+                }
+            }
+        }
+        table.row([
+            name.to_string(),
+            format!("{:.2}", tlb.stats().miss_rate() * 100.0),
+        ]);
+    }
+    emit(
+        "ablation_replacement",
+        "Ablation: slice replacement policy on canneal's access stream",
+        &table,
+    );
+}
+
+/// Runs all ablations.
+pub fn run(effort: Effort) {
+    hpc_sweep(effort);
+    rotation_sweep(effort);
+    bus_vs_fabric(effort);
+    replacement_sweep(effort);
+}

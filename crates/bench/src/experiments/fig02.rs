@@ -1,0 +1,47 @@
+//! Fig 2: percentage of private L2 TLB misses eliminated by replacing the
+//! private L2 TLBs with a shared L2 TLB, on 16/32/64-core systems.
+//!
+//! The metric is purely about hit rates, so the shared organization used
+//! here is the zero-interconnect-latency `IdealShared` (latency does not
+//! change which lookups hit).
+
+use crate::{emit, parallel_map, Effort};
+use nocstar::prelude::*;
+
+/// Regenerates Fig 2.
+pub fn run(effort: Effort) {
+    let jobs: Vec<Preset> = Preset::ALL.to_vec();
+    let rows = parallel_map(jobs, |&preset| {
+        let elim = |cores: usize| {
+            let private = effort.run(cores, TlbOrg::paper_private(), preset);
+            let shared = effort.run(cores, TlbOrg::paper_ideal(), preset);
+            shared.misses_eliminated_vs(&private)
+        };
+        (preset, elim(16), elim(32), elim(64))
+    });
+
+    let mut table = Table::new(["workload", "16-core", "32-core", "64-core"]);
+    let (mut s16, mut s32, mut s64) = (Vec::new(), Vec::new(), Vec::new());
+    for (preset, e16, e32, e64) in rows {
+        table.row([
+            preset.name().to_string(),
+            format!("{e16:.0}"),
+            format!("{e32:.0}"),
+            format!("{e64:.0}"),
+        ]);
+        s16.push(e16);
+        s32.push(e32);
+        s64.push(e64);
+    }
+    table.row([
+        "Avg".to_string(),
+        format!("{:.0}", Summary::of(s16).mean()),
+        format!("{:.0}", Summary::of(s32).mean()),
+        format!("{:.0}", Summary::of(s64).mean()),
+    ]);
+    emit(
+        "fig02",
+        "Fig 2: % of private L2 TLB misses eliminated by a shared L2 TLB",
+        &table,
+    );
+}

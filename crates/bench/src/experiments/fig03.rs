@@ -1,0 +1,23 @@
+//! Fig 3: SRAM TLB access latency versus capacity (0.5x–64x of a
+//! 1536-entry private L2 TLB), from the calibrated Fig 3 model.
+
+use crate::{emit, Effort};
+use nocstar::prelude::*;
+use nocstar::tlb::sram;
+
+/// Regenerates Fig 3.
+pub fn run(_effort: Effort) {
+    let mut table = Table::new(["size vs private TLB", "entries", "cycles"]);
+    for (ratio, entries, cycles) in sram::fig3_series() {
+        table.row([
+            format!("{ratio}x"),
+            entries.to_string(),
+            cycles.value().to_string(),
+        ]);
+    }
+    emit(
+        "fig03",
+        "Fig 3: SRAM TLB access latency vs number of entries (28nm model)",
+        &table,
+    );
+}

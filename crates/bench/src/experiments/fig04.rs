@@ -1,0 +1,60 @@
+//! Fig 4: speedups of a monolithic multi-banked shared L2 TLB over
+//! private L2 TLBs on 32 cores, as its total access latency is swept from
+//! 25 cycles (realistic SRAM + interconnect) down to 9 cycles (the
+//! unrealizable case where the 32x-larger array matches private latency
+//! and the interconnect is free).
+//!
+//! Latency is applied as a bank-lookup override over a zero-latency
+//! interconnect, so port/bank contention is still simulated.
+
+use crate::{emit, parallel_map, Effort};
+use nocstar::prelude::*;
+
+const LATENCIES: [u64; 4] = [25, 16, 11, 9];
+
+/// Regenerates Fig 4.
+pub fn run(effort: Effort) {
+    let cores = 32;
+    let jobs: Vec<Preset> = Preset::ALL.to_vec();
+    let rows = parallel_map(jobs, |&preset| {
+        let baseline = effort.run(cores, TlbOrg::paper_private(), preset);
+        let speeds: Vec<f64> = LATENCIES
+            .iter()
+            .map(|&latency| {
+                let org = TlbOrg::Monolithic {
+                    entries_per_core: 1024,
+                    banks: 4,
+                    net: MonolithicNet::Ideal,
+                    latency_override: Some(Cycles::new(latency)),
+                };
+                effort.run(cores, org, preset).speedup_vs(&baseline)
+            })
+            .collect();
+        (preset, speeds)
+    });
+
+    let mut table = Table::new([
+        "workload",
+        "Shared(25-cc)",
+        "Shared(16-cc)",
+        "Shared(11-cc)",
+        "Shared(9-cc)",
+    ]);
+    let mut columns = vec![Vec::new(); LATENCIES.len()];
+    for (preset, speeds) in rows {
+        table.row_values(preset.name(), &speeds);
+        for (c, s) in columns.iter_mut().zip(&speeds) {
+            c.push(*s);
+        }
+    }
+    let avgs: Vec<f64> = columns
+        .iter()
+        .map(|c| Summary::of(c.clone()).mean())
+        .collect();
+    table.row_values("average", &avgs);
+    emit(
+        "fig04",
+        "Fig 4: monolithic shared TLB speedup vs private, by total access latency (32 cores)",
+        &table,
+    );
+}

@@ -1,0 +1,29 @@
+//! Fig 9: power and area of one place-and-routed NOCSTAR tile
+//! (switch, link arbiters, TLB SRAM) in 28nm at a 0.5ns clock.
+
+use crate::{emit, Effort};
+use nocstar::energy::area::TileCosts;
+use nocstar::prelude::*;
+
+/// Regenerates Fig 9's table.
+pub fn run(_effort: Effort) {
+    let costs = TileCosts::paper();
+    let mut table = Table::new(["component", "per-core power (mW)", "area (mm^2)"]);
+    for row in costs.rows() {
+        table.row([
+            row.name.to_string(),
+            format!("{:.2}", row.power_mw),
+            format!("{:.4}", row.area_mm2),
+        ]);
+    }
+    emit(
+        "fig09",
+        "Fig 9: NOCSTAR tile power/area (28nm, 0.5ns clock)",
+        &table,
+    );
+    println!(
+        "switch area / SRAM area = {:.2}% (paper: <1%); switch+arbiters = {:.2}%\n",
+        costs.switch.area_mm2 / costs.sram_tlb.area_mm2 * 100.0,
+        costs.interconnect_area_fraction() * 100.0
+    );
+}

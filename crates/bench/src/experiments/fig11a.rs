@@ -1,0 +1,33 @@
+//! Fig 11(a): contention-free latency of one shared-L2-TLB access message
+//! versus hop count, for the monolithic, distributed and NOCSTAR
+//! (HPCmax = 4/8/16) designs.
+
+use crate::{emit, Effort};
+use nocstar::noc::latency::{fig11a_designs, message_latency, FIG11A_HOPS};
+use nocstar::prelude::*;
+
+/// Regenerates Fig 11(a).
+pub fn run(_effort: Effort) {
+    let designs = fig11a_designs();
+    let mut headers = vec!["hops".to_string()];
+    headers.extend(designs.iter().map(|d| d.to_string()));
+    let mut table = Table::new(headers);
+    for hops in FIG11A_HOPS {
+        let mut cells = vec![hops.to_string()];
+        for d in &designs {
+            let l = message_latency(*d, hops);
+            cells.push(format!(
+                "{} ({}+{})",
+                l.total().value(),
+                l.access.value(),
+                l.network.value()
+            ));
+        }
+        table.row(cells);
+    }
+    emit(
+        "fig11a",
+        "Fig 11(a): message latency vs hops — total (access+network) cycles",
+        &table,
+    );
+}

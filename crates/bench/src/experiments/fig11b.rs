@@ -1,0 +1,54 @@
+//! Fig 11(b): energy of one shared-L2-TLB access message versus hop count,
+//! broken into link / switch / control / SRAM components, for the
+//! (M)onolithic, (D)istributed and (N)OCSTAR designs.
+
+use crate::{emit, Effort};
+use nocstar::energy::model::{message_energy, NocDesign, FIG11B_HOPS};
+use nocstar::prelude::*;
+
+/// Regenerates Fig 11(b).
+pub fn run(_effort: Effort) {
+    let designs = [
+        (
+            "M",
+            NocDesign::Monolithic {
+                total_entries: 32 * 1536,
+            },
+        ),
+        (
+            "D",
+            NocDesign::Distributed {
+                slice_entries: 1024,
+            },
+        ),
+        ("N", NocDesign::Nocstar { slice_entries: 920 }),
+    ];
+    let mut table = Table::new([
+        "hops",
+        "design",
+        "link pJ",
+        "switch pJ",
+        "control pJ",
+        "SRAM pJ",
+        "total pJ",
+    ]);
+    for hops in FIG11B_HOPS {
+        for (label, design) in designs {
+            let e = message_energy(design, hops);
+            table.row([
+                hops.to_string(),
+                label.to_string(),
+                format!("{:.1}", e.link),
+                format!("{:.1}", e.switch),
+                format!("{:.1}", e.control),
+                format!("{:.1}", e.sram),
+                format!("{:.1}", e.total()),
+            ]);
+        }
+    }
+    emit(
+        "fig11b",
+        "Fig 11(b): per-message energy vs hops (M/D/N)",
+        &table,
+    );
+}

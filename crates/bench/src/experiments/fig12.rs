@@ -1,0 +1,23 @@
+//! Fig 12: speedups of monolithic / distributed / NOCSTAR / ideal shared
+//! L2 TLBs over private L2 TLBs on 16 cores, with **4 KiB pages only**
+//! (transparent superpages disabled).
+
+use crate::{emit, Effort};
+use nocstar::prelude::*;
+
+/// Regenerates Fig 12.
+pub fn run(effort: Effort) {
+    let cores = 16;
+    let orgs = [
+        ("Monolithic", TlbOrg::paper_monolithic(cores)),
+        ("Distributed", TlbOrg::paper_distributed()),
+        ("NOCSTAR", TlbOrg::paper_nocstar()),
+        ("Ideal", TlbOrg::paper_ideal()),
+    ];
+    let table = super::speedup_table(effort, cores, &orgs, false);
+    emit(
+        "fig12",
+        "Fig 12: speedups vs private L2 TLBs (16 cores, 4KB pages only)",
+        &table,
+    );
+}

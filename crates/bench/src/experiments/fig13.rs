@@ -1,0 +1,24 @@
+//! Fig 13: the Fig 12 comparison with Linux-style transparent 2 MiB
+//! superpages enabled (50–80 % of each workload's footprint superpage-
+//! backed). The paper finds NOCSTAR's margins *grow* with superpages:
+//! they cut shared-L2 misses, so access latency dominates.
+
+use crate::{emit, Effort};
+use nocstar::prelude::*;
+
+/// Regenerates Fig 13.
+pub fn run(effort: Effort) {
+    let cores = 16;
+    let orgs = [
+        ("Monolithic", TlbOrg::paper_monolithic(cores)),
+        ("Distributed", TlbOrg::paper_distributed()),
+        ("NOCSTAR", TlbOrg::paper_nocstar()),
+        ("Ideal", TlbOrg::paper_ideal()),
+    ];
+    let table = super::speedup_table(effort, cores, &orgs, true);
+    emit(
+        "fig13",
+        "Fig 13: speedups vs private L2 TLBs (16 cores, transparent 2MB superpages)",
+        &table,
+    );
+}

@@ -1,0 +1,57 @@
+//! Fig 14: scalability — (left) min/avg/max speedups of monolithic /
+//! distributed / NOCSTAR over private L2 TLBs at 16/32/64 cores, with
+//! transparent superpages; (right) percent of address-translation energy
+//! saved versus the private baseline.
+
+use crate::{emit, parallel_map, Effort};
+use nocstar::prelude::*;
+
+/// Regenerates Fig 14 (both panels).
+pub fn run(effort: Effort) {
+    let mut speed = Table::new(["cores", "organization", "min", "avg", "max"]);
+    let mut energy = Table::new(["cores", "organization", "% energy saved (avg)"]);
+    for cores in [16usize, 32, 64] {
+        let orgs = [
+            ("Monolithic", TlbOrg::paper_monolithic(cores)),
+            ("Distributed", TlbOrg::paper_distributed()),
+            ("NOCSTAR", TlbOrg::paper_nocstar()),
+        ];
+        let jobs: Vec<Preset> = Preset::ALL.to_vec();
+        let per_workload = parallel_map(jobs, |&preset| {
+            let baseline = effort.run(cores, TlbOrg::paper_private(), preset);
+            orgs.map(|(_, org)| {
+                let r = effort.run(cores, org, preset);
+                (
+                    r.speedup_vs(&baseline),
+                    r.energy.percent_saved_vs(&baseline.energy),
+                )
+            })
+        });
+        for (i, (name, _)) in orgs.iter().enumerate() {
+            let speeds = Summary::of(per_workload.iter().map(|w| w[i].0));
+            let saved = Summary::of(per_workload.iter().map(|w| w[i].1.max(0.0)));
+            speed.row([
+                cores.to_string(),
+                name.to_string(),
+                format!("{:.3}", speeds.min()),
+                format!("{:.3}", speeds.mean()),
+                format!("{:.3}", speeds.max()),
+            ]);
+            energy.row([
+                cores.to_string(),
+                name.to_string(),
+                format!("{:.0}", saved.mean()),
+            ]);
+        }
+    }
+    emit(
+        "fig14_left",
+        "Fig 14 (left): speedup vs private by core count (min/avg/max over workloads)",
+        &speed,
+    );
+    emit(
+        "fig14_right",
+        "Fig 14 (right): % of address-translation energy saved vs private",
+        &energy,
+    );
+}

@@ -1,0 +1,50 @@
+//! Fig 15: teasing apart distribution versus interconnect on 32 cores —
+//! monolithic over a multi-hop mesh, monolithic over SMART, distributed,
+//! NOCSTAR, NOCSTAR with an ideal (contention-free) fabric, and the
+//! zero-interconnect-latency ideal.
+
+use crate::{emit, Effort};
+use nocstar::prelude::*;
+
+/// Regenerates Fig 15.
+pub fn run(effort: Effort) {
+    let cores = 32;
+    let orgs = [
+        ("Mono(mesh)", TlbOrg::paper_monolithic(cores)),
+        (
+            "Mono(SMART)",
+            TlbOrg::Monolithic {
+                entries_per_core: 1024,
+                banks: 4,
+                net: MonolithicNet::Smart(8),
+                latency_override: None,
+            },
+        ),
+        ("Distributed", TlbOrg::paper_distributed()),
+        ("NOCSTAR", TlbOrg::paper_nocstar()),
+        (
+            "NOCSTAR(ideal)",
+            TlbOrg::Nocstar {
+                slice_entries: 920,
+                hpc_max: 16,
+                acquire: AcquireMode::OneWay,
+                ideal_fabric: true,
+            },
+        ),
+        ("Ideal", TlbOrg::paper_ideal()),
+    ];
+    let table = super::speedup_table(effort, cores, &orgs, true);
+    // How close NOCSTAR comes to the zero-latency ideal, from the average row.
+    let avg = table.rows().last().expect("average row");
+    let nocstar: f64 = avg[4].parse().expect("nocstar avg");
+    let ideal: f64 = avg[6].parse().expect("ideal avg");
+    emit(
+        "fig15",
+        "Fig 15: speedups vs private (32 cores) — distribution vs interconnect",
+        &table,
+    );
+    println!(
+        "NOCSTAR reaches {:.1}% of the zero-interconnect-latency ideal (paper: ~95%)\n",
+        nocstar / ideal * 100.0
+    );
+}

@@ -1,0 +1,59 @@
+//! Fig 17: page-table walks performed at the requesting core (miss reply,
+//! walk, then remote insert) versus at the remote slice's core (walk and
+//! translation reply, polluting the remote core's caches), on NOCSTAR at
+//! 16/32/64 cores.
+
+use crate::{emit, parallel_map, Effort};
+use nocstar::prelude::*;
+
+const WORKLOADS: [Preset; 4] = [
+    Preset::Canneal,
+    Preset::Graph500,
+    Preset::Gups,
+    Preset::Xsbench,
+];
+
+/// Regenerates Fig 17.
+pub fn run(effort: Effort) {
+    let mut table = Table::new(["cores", "workload", "Request", "Remote"]);
+    for cores in [16usize, 32, 64] {
+        let rows = parallel_map(WORKLOADS.to_vec(), |&preset| {
+            let base = effort.run(cores, TlbOrg::paper_private(), preset);
+            let at = |policy: WalkPolicy| {
+                effort
+                    .run_with(cores, TlbOrg::paper_nocstar(), preset, |c| {
+                        c.walk_policy = policy
+                    })
+                    .speedup_vs(&base)
+            };
+            (
+                preset,
+                at(WalkPolicy::AtRequester),
+                at(WalkPolicy::AtRemote),
+            )
+        });
+        let mut req = Vec::new();
+        let mut rem = Vec::new();
+        for (preset, r, m) in rows {
+            table.row([
+                cores.to_string(),
+                preset.name().to_string(),
+                format!("{r:.3}"),
+                format!("{m:.3}"),
+            ]);
+            req.push(r);
+            rem.push(m);
+        }
+        table.row([
+            cores.to_string(),
+            "average".to_string(),
+            format!("{:.3}", Summary::of(req).mean()),
+            format!("{:.3}", Summary::of(rem).mean()),
+        ]);
+    }
+    emit(
+        "fig17",
+        "Fig 17: page walk at requesting vs remote core (speedup vs private)",
+        &table,
+    );
+}

@@ -1,0 +1,69 @@
+//! One module per paper figure/table; each exposes `run(effort)` which
+//! prints the regenerated rows and saves a CSV under `bench_results/`.
+//!
+//! See DESIGN.md §3 for the experiment index mapping figures to modules.
+
+use crate::{parallel_map, Effort};
+use nocstar::prelude::*;
+
+/// Per-workload speedups of `orgs` versus the private baseline, plus an
+/// average row — the shape of Figs 12, 13 and 15.
+pub(crate) fn speedup_table(
+    effort: Effort,
+    cores: usize,
+    orgs: &[(&str, TlbOrg)],
+    thp: bool,
+) -> Table {
+    let jobs: Vec<Preset> = Preset::ALL.to_vec();
+    let rows = parallel_map(jobs, |&preset| {
+        let baseline = effort.run_with(cores, TlbOrg::paper_private(), preset, |c| c.thp = thp);
+        let speeds: Vec<f64> = orgs
+            .iter()
+            .map(|&(_, org)| {
+                effort
+                    .run_with(cores, org, preset, |c| c.thp = thp)
+                    .speedup_vs(&baseline)
+            })
+            .collect();
+        (preset, speeds)
+    });
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(orgs.iter().map(|(name, _)| name.to_string()));
+    let mut table = Table::new(headers);
+    let mut columns = vec![Vec::new(); orgs.len()];
+    for (preset, speeds) in rows {
+        table.row_values(preset.name(), &speeds);
+        for (c, s) in columns.iter_mut().zip(&speeds) {
+            c.push(*s);
+        }
+    }
+    let avgs: Vec<f64> = columns
+        .iter()
+        .map(|c| Summary::of(c.clone()).mean())
+        .collect();
+    table.row_values("average", &avgs);
+    table
+}
+
+pub mod ablation;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig09;
+pub mod fig11a;
+pub mod fig11b;
+pub mod fig11c;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod slice_ubench;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,62 @@
+//! Table II: the simulated L2 TLB configurations, printed from the actual
+//! `TlbOrg` presets so the table can never drift from the code.
+
+use crate::{emit, Effort};
+use nocstar::prelude::*;
+
+/// Regenerates Table II.
+pub fn run(_effort: Effort) {
+    let cores = 32;
+    let mut table = Table::new([
+        "configuration",
+        "L2 TLB entries (8-way)",
+        "physical org",
+        "interconnect",
+    ]);
+    for org in [
+        TlbOrg::paper_private(),
+        TlbOrg::paper_monolithic(cores),
+        TlbOrg::paper_distributed(),
+        TlbOrg::paper_nocstar(),
+    ] {
+        let (entries, phys, net) = match org {
+            TlbOrg::Private { entries, .. } => {
+                (format!("{entries}"), "1 TLB per core".into(), "-".into())
+            }
+            TlbOrg::Monolithic {
+                entries_per_core,
+                banks,
+                ..
+            } => (
+                format!("{entries_per_core} x NumCores"),
+                format!("monolithic, {banks} banks"),
+                "Mesh (multi-hop) / SMART".into(),
+            ),
+            TlbOrg::Distributed { slice_entries } => (
+                format!("{slice_entries} x NumCores"),
+                "1 slice per core".into(),
+                "Mesh (multi-hop)".into(),
+            ),
+            TlbOrg::Nocstar {
+                slice_entries,
+                hpc_max,
+                ..
+            } => (
+                format!("{slice_entries} x NumCores"),
+                "1 slice per core".to_string(),
+                format!("NOCSTAR (HPCmax={hpc_max})"),
+            ),
+            TlbOrg::IdealShared { slice_entries } => (
+                format!("{slice_entries} x NumCores"),
+                "1 slice per core".into(),
+                "zero-latency (ideal)".into(),
+            ),
+        };
+        table.row([org.label().to_string(), entries, phys, net]);
+    }
+    emit(
+        "table2",
+        "Table II: simulated TLB configurations (32-core instantiation)",
+        &table,
+    );
+}

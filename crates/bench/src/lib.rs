@@ -1,0 +1,134 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper (see `DESIGN.md` for the per-experiment index,
+//! and `src/bin/` for one binary per figure).
+//!
+//! The harness provides run-length presets (`--quick` / `NOCSTAR_QUICK=1`
+//! for CI-sized runs), parallel fan-out over independent simulations, the
+//! standard organization line-ups, and result persistence under
+//! `bench_results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use nocstar::prelude::*;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Run-length and sweep-size settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Effort {
+    /// Warmup memory accesses per hardware thread (excluded from stats).
+    pub warmup: u64,
+    /// Measured memory accesses per hardware thread per run.
+    pub accesses: u64,
+    /// Whether this is the abbreviated (--quick) mode.
+    pub quick: bool,
+}
+
+impl Effort {
+    /// Resolves effort from the process arguments and environment:
+    /// `--quick` or `NOCSTAR_QUICK=1` selects the abbreviated mode.
+    pub fn from_env() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("NOCSTAR_QUICK").is_ok_and(|v| v != "0");
+        Self {
+            warmup: if quick { 2_000 } else { 8_000 },
+            accesses: if quick { 4_000 } else { 16_000 },
+            quick,
+        }
+    }
+
+    /// Runs one preset under one organization at this effort (with warmup),
+    /// applying config tweaks first.
+    pub fn run_with(
+        &self,
+        cores: usize,
+        org: TlbOrg,
+        preset: Preset,
+        tweak: impl FnOnce(&mut SystemConfig),
+    ) -> SimReport {
+        let mut config = SystemConfig::new(cores, org);
+        tweak(&mut config);
+        let workload = WorkloadAssignment::preset(&config, preset);
+        Simulation::new(config, workload).run_measured(self.warmup, self.accesses)
+    }
+
+    /// [`run_with`](Self::run_with) without tweaks.
+    pub fn run(&self, cores: usize, org: TlbOrg, preset: Preset) -> SimReport {
+        self.run_with(cores, org, preset, |_| {})
+    }
+}
+
+/// Maps `f` over `items` on a pool of worker threads (simulations are
+/// independent and deterministic, so parallel order does not matter);
+/// results come back in input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().expect("poisoned") = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("worker filled"))
+        .collect()
+}
+
+/// The output directory for experiment results (`bench_results/` at the
+/// workspace root), created on first use.
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("NOCSTAR_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("bench_results"));
+    std::fs::create_dir_all(&dir).expect("create bench_results");
+    dir
+}
+
+/// Prints a table under a heading and saves it as CSV in
+/// [`out_dir`]`/<name>.csv`.
+pub fn emit(name: &str, title: &str, table: &Table) {
+    println!("== {title} ==\n");
+    println!("{table}");
+    let path = out_dir().join(format!("{name}.csv"));
+    std::fs::write(&path, table.to_csv()).expect("write csv");
+    println!("(saved {})\n", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..50).collect(), |x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn effort_defaults_to_full() {
+        // No --quick in the test binary args.
+        let e = Effort::from_env();
+        assert!(e.accesses >= 4_000);
+    }
+}

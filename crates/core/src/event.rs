@@ -1,0 +1,122 @@
+//! The simulation event queue.
+
+use nocstar_types::time::Cycle;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A hardware thread pulls its next trace event.
+    ThreadNext(usize),
+    /// A hardware thread issues the memory access it was waiting on.
+    Issue(usize),
+    /// A slice/bank finished looking up transaction `tx`.
+    SliceDone(u64),
+    /// A page walk for transaction `tx` completed.
+    WalkDone(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    at: Cycle,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (time, insertion order).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-heap of timed events (FIFO among same-cycle events).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn push(&mut self, at: Cycle, event: Event) {
+        self.seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// The time of the earliest pending event.
+    pub fn next_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest event if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, Event)> {
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            let e = self.heap.pop().expect("peeked");
+            Some((e.at, e.event))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(5), Event::ThreadNext(1));
+        q.push(Cycle::new(3), Event::ThreadNext(2));
+        q.push(Cycle::new(4), Event::ThreadNext(3));
+        assert_eq!(q.next_time(), Some(Cycle::new(3)));
+        let order: Vec<Event> = std::iter::from_fn(|| q.pop_due(Cycle::new(10)))
+            .map(|(_, e)| e)
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                Event::ThreadNext(2),
+                Event::ThreadNext(3),
+                Event::ThreadNext(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn same_cycle_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(Cycle::new(7), Event::Issue(i));
+        }
+        let order: Vec<Event> = std::iter::from_fn(|| q.pop_due(Cycle::new(7)))
+            .map(|(_, e)| e)
+            .collect();
+        assert_eq!(order, (0..5).map(Event::Issue).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(9), Event::WalkDone(1));
+        assert!(q.pop_due(Cycle::new(8)).is_none());
+        assert!(q.pop_due(Cycle::new(9)).is_some());
+        assert!(q.next_time().is_none());
+    }
+}

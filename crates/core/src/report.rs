@@ -1,0 +1,217 @@
+//! Simulation results.
+
+use nocstar_energy::account::EnergyAccount;
+use nocstar_noc::NocStats;
+use nocstar_stats::counter::HitMiss;
+use nocstar_stats::histogram::ConcurrencyBins;
+use nocstar_stats::latency::LatencyRecorder;
+use nocstar_stats::summary;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything measured by one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Workload label.
+    pub label: String,
+    /// Organization label (`private`, `nocstar`, …).
+    pub org_label: String,
+    /// Core count.
+    pub cores: usize,
+    /// Total runtime in cycles (until the last thread finished its quota).
+    pub cycles: u64,
+    /// Total memory accesses completed.
+    pub accesses: u64,
+    /// Per-hardware-thread finish times (cycle of each thread's last
+    /// access) — the basis for per-application speedups in Fig 18.
+    pub per_thread_finish: Vec<u64>,
+    /// Combined L1 TLB hit/miss statistics.
+    pub l1: HitMiss,
+    /// Combined L2 TLB (private / banks / slices) hit/miss statistics.
+    pub l2: HitMiss,
+    /// Per-structure (private L2 / bank / slice) hit/miss statistics, in
+    /// structure order — shows slice load balance and hotspots.
+    pub per_structure: Vec<HitMiss>,
+    /// Valid L2 entries at the end of the run (all structures).
+    pub l2_occupancy: usize,
+    /// Page walks performed.
+    pub walks: u64,
+    /// Walks whose PTE reads left the private caches (LLC or DRAM).
+    pub walks_llc_or_mem: u64,
+    /// Shootdowns processed.
+    pub shootdowns: u64,
+    /// Context-switch TLB flushes processed.
+    pub flushes: u64,
+    /// Chip-wide concurrent-L2-access distribution (Figs 5, 6 left).
+    pub chip_concurrency: ConcurrencyBins,
+    /// Per-slice concurrent-access distribution, merged over slices
+    /// (Fig 6 right).
+    pub slice_concurrency: ConcurrencyBins,
+    /// End-to-end translation latency of L1-miss accesses.
+    pub translation_latency: LatencyRecorder,
+    /// Interconnect statistics (None for organizations without a network).
+    pub network: Option<NocStats>,
+    /// Address-translation energy account.
+    pub energy: EnergyAccount,
+}
+
+impl SimReport {
+    /// Runtime speedup of this run versus a baseline run of the same
+    /// workload and work quota.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs did different amounts of work.
+    pub fn speedup_vs(&self, baseline: &SimReport) -> f64 {
+        assert_eq!(
+            self.accesses, baseline.accesses,
+            "speedup requires equal work"
+        );
+        summary::speedup(baseline.cycles, self.cycles)
+    }
+
+    /// Aggregate throughput (completed accesses per kilocycle, summed over
+    /// threads' individual finish times) — the Fig 18 "overall throughput"
+    /// metric.
+    pub fn throughput(&self) -> f64 {
+        let per_thread = self.accesses as f64 / self.per_thread_finish.len() as f64;
+        self.per_thread_finish
+            .iter()
+            .map(|&f| per_thread / (f.max(1) as f64) * 1000.0)
+            .sum()
+    }
+
+    /// Per-application finish times for a mix with `threads_per_app`
+    /// consecutive threads per application: the max finish among each
+    /// app's threads.
+    pub fn app_finish_times(&self, threads_per_app: usize) -> Vec<u64> {
+        assert!(threads_per_app > 0, "apps need threads");
+        self.per_thread_finish
+            .chunks(threads_per_app)
+            .map(|c| c.iter().copied().max().unwrap_or(0))
+            .collect()
+    }
+
+    /// Fraction of private-baseline L2 misses this run eliminated
+    /// (the Fig 2 metric).
+    pub fn misses_eliminated_vs(&self, baseline: &SimReport) -> f64 {
+        let base = baseline.l2.misses() as f64;
+        if base == 0.0 {
+            0.0
+        } else {
+            (base - self.l2.misses() as f64).max(0.0) / base * 100.0
+        }
+    }
+
+    /// Fraction of walks that needed the LLC or DRAM (the paper reports
+    /// 70–87 % on the baseline).
+    pub fn walk_llc_fraction(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.walks_llc_or_mem as f64 / self.walks as f64
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on {} cores [{}]: {} accesses in {} cycles",
+            self.label, self.cores, self.org_label, self.accesses, self.cycles
+        )?;
+        writeln!(f, "  L1 TLB: {}  |  L2 TLB: {}", self.l1, self.l2)?;
+        writeln!(
+            f,
+            "  walks: {} ({:.0}% to LLC/DRAM)  shootdowns: {}  flushes: {}",
+            self.walks,
+            self.walk_llc_fraction() * 100.0,
+            self.shootdowns,
+            self.flushes
+        )?;
+        write!(f, "  energy: {}", self.energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, misses_hits: (u64, u64), finishes: Vec<u64>) -> SimReport {
+        let mut l2 = HitMiss::new();
+        for _ in 0..misses_hits.0 {
+            l2.miss();
+        }
+        for _ in 0..misses_hits.1 {
+            l2.hit();
+        }
+        SimReport {
+            label: "test".into(),
+            org_label: "test".into(),
+            cores: finishes.len(),
+            cycles,
+            accesses: 100 * finishes.len() as u64,
+            per_thread_finish: finishes,
+            l1: HitMiss::new(),
+            l2,
+            per_structure: Vec::new(),
+            l2_occupancy: 0,
+            walks: 10,
+            walks_llc_or_mem: 8,
+            shootdowns: 0,
+            flushes: 0,
+            chip_concurrency: ConcurrencyBins::new(),
+            slice_concurrency: ConcurrencyBins::new(),
+            translation_latency: LatencyRecorder::new(),
+            network: None,
+            energy: EnergyAccount::default(),
+        }
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio() {
+        let base = report(2000, (10, 90), vec![2000, 1500]);
+        let fast = report(1000, (10, 90), vec![1000, 900]);
+        assert_eq!(fast.speedup_vs(&base), 2.0);
+    }
+
+    #[test]
+    fn misses_eliminated_is_a_percentage() {
+        let base = report(1000, (100, 0), vec![1000]);
+        let shared = report(1000, (25, 75), vec![1000]);
+        assert_eq!(shared.misses_eliminated_vs(&base), 75.0);
+        // More misses than baseline clamps to zero, not negative.
+        let worse = report(1000, (150, 0), vec![1000]);
+        assert_eq!(worse.misses_eliminated_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn throughput_sums_thread_rates() {
+        let r = report(1000, (0, 0), vec![1000, 2000]);
+        // 100 accesses each: 100/1000*1000 + 100/2000*1000 = 100 + 50.
+        assert!((r.throughput() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn app_finish_times_group_threads() {
+        let r = report(1000, (0, 0), vec![10, 20, 5, 40]);
+        assert_eq!(r.app_finish_times(2), vec![20, 40]);
+    }
+
+    #[test]
+    fn walk_llc_fraction_handles_zero_walks() {
+        let mut r = report(1, (0, 0), vec![1]);
+        r.walks = 0;
+        r.walks_llc_or_mem = 0;
+        assert_eq!(r.walk_llc_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_is_multi_line_and_informative() {
+        let text = report(1000, (1, 9), vec![1000]).to_string();
+        assert!(text.contains("cycles"));
+        assert!(text.contains("walks"));
+        assert!(text.contains("energy"));
+    }
+}

@@ -1,0 +1,1007 @@
+//! The event-driven full-system simulation.
+//!
+//! One [`Simulation`] runs one configuration over one workload assignment
+//! for a fixed number of memory accesses per hardware thread, and produces
+//! a [`SimReport`]. Time advances event-to-event; interconnect arbitration
+//! is resolved cycle-exactly whenever messages are in flight (see
+//! `nocstar-noc`), and skipped entirely while the network is idle.
+
+use crate::assignment::WorkloadAssignment;
+use crate::config::{MonolithicNet, SystemConfig, TlbOrg, WalkPolicy};
+use crate::event::{Event, EventQueue};
+use crate::network::NetworkModel;
+use crate::org::OrgState;
+use crate::report::SimReport;
+use nocstar_energy::account::EnergyAccount;
+use nocstar_energy::model::{self, NocDesign};
+use nocstar_mem::hierarchy::{MemoryConfig, MemorySystem, ServicedBy};
+use nocstar_noc::mesh::MeshNoc;
+use nocstar_noc::message::{Delivery, Message, MsgKind};
+use nocstar_noc::smart::SmartNoc;
+use nocstar_stats::counter::Counter;
+use nocstar_stats::latency::LatencyRecorder;
+use nocstar_tlb::entry::TlbEntry;
+use nocstar_tlb::l1::L1Tlb;
+use nocstar_tlb::shootdown::Invalidation;
+use nocstar_types::time::{Cycle, Cycles};
+use nocstar_types::{Asid, CoreId, MeshShape, VirtAddr, VirtPageNum};
+use nocstar_workloads::trace::{MemAccess, TraceEvent, TraceSource};
+use std::collections::HashMap;
+
+/// Cycles a thread loses to a context-switch trap.
+const CTX_SWITCH_COST: Cycles = Cycles::new(200);
+/// Cycles the initiating thread spends in the OS for one shootdown batch.
+const SHOOTDOWN_COST: Cycles = Cycles::new(50);
+/// Out-of-order cores overlap most data-miss latency with independent
+/// work; translation latency, in contrast, serializes in front of the
+/// access (paper §I). Data accesses therefore charge their L1 latency in
+/// full and only 1/8 of any additional miss latency.
+const DATA_MLP_SHIFT: u32 = 3;
+
+/// Pipeline-replay penalty charged once per L2 TLB miss, on top of the
+/// page-walk latency. An out-of-order core squashes and replays the
+/// instructions dependent on a translation miss; prior work measures this
+/// replay cost as a first-order component of the "address translation
+/// wall" (Bhattacharjee, MICRO Top Picks 2018). Without it, miss-rate
+/// differences between organizations under-contribute to runtime relative
+/// to the paper's Table III sensitivity results.
+const WALK_REPLAY_PENALTY: Cycles = Cycles::new(40);
+
+#[derive(Debug, Clone, Copy)]
+struct LookupTx {
+    thread: usize,
+    requester: CoreId,
+    va: VirtAddr,
+    asid: Asid,
+    vpn: VirtPageNum,
+    is_write: bool,
+    issued_at: Cycle,
+    home_idx: usize,
+    home_tile: CoreId,
+    /// The translation, once known (slice hit or completed walk).
+    entry: Option<TlbEntry>,
+    /// Whether the slice lookup missed and a walk resolved it.
+    walked: bool,
+    /// Whether the slice-level concurrency trackers were closed.
+    tracker_closed: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TxState {
+    Lookup(LookupTx),
+    Insert(TlbEntry),
+    Inval {
+        inv: Invalidation,
+        home_idx: usize,
+        /// Next hop: false = travelling to the leader (dropped there — the
+        /// leader relays on its own), true = travelling to the home slice.
+        at_leader: bool,
+    },
+}
+
+/// Per-hardware-thread progress.
+#[derive(Debug, Clone, Copy)]
+struct ThreadState {
+    core: CoreId,
+    pending: Option<MemAccess>,
+    accesses_done: u64,
+    finish_time: Cycle,
+    finished: bool,
+}
+
+/// One configured system ready to run one workload.
+pub struct Simulation {
+    config: SystemConfig,
+    mesh: MeshShape,
+    mem: MemorySystem,
+    l1s: Vec<L1Tlb>,
+    org: OrgState,
+    net: NetworkModel,
+    traces: Vec<Box<dyn TraceSource>>,
+    threads: Vec<ThreadState>,
+    walker_free: Vec<Cycle>,
+    events: EventQueue,
+    txs: HashMap<u64, TxState>,
+    next_tx: u64,
+    now: Cycle,
+    target: u64,
+    warm_target: u64,
+    warm_crossed: usize,
+    warm_cross_time: Vec<Cycle>,
+    completed_threads: usize,
+    last_completion: Cycle,
+    label: String,
+    // Statistics.
+    energy: EnergyAccount,
+    energy_design: Option<NocDesign>,
+    translation_latency: LatencyRecorder,
+    walks: Counter,
+    walks_llc_or_mem: Counter,
+    shootdowns: Counter,
+    flushes: Counter,
+}
+
+impl Simulation {
+    /// Builds a simulation of `config` running `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload does not provide one trace per hardware
+    /// thread, or the configuration is invalid.
+    pub fn new(config: SystemConfig, workload: WorkloadAssignment) -> Self {
+        config.validate();
+        assert_eq!(
+            workload.len(),
+            config.threads(),
+            "workload must cover every hardware thread"
+        );
+        let mesh = config.mesh();
+        let org = OrgState::new(&config);
+        let net = match config.org {
+            TlbOrg::Private { .. } | TlbOrg::IdealShared { .. } => NetworkModel::None,
+            TlbOrg::Distributed { .. } => NetworkModel::Mesh(MeshNoc::contention_free(mesh)),
+            TlbOrg::Monolithic { net, .. } => match net {
+                MonolithicNet::Mesh => NetworkModel::Mesh(MeshNoc::contention_free(mesh)),
+                MonolithicNet::Smart(hpc) => NetworkModel::Smart(SmartNoc::new(mesh, hpc)),
+                MonolithicNet::Ideal => NetworkModel::None,
+            },
+            TlbOrg::Nocstar {
+                hpc_max,
+                acquire,
+                ideal_fabric,
+                ..
+            } => NetworkModel::nocstar(mesh, hpc_max, acquire, ideal_fabric),
+        };
+        let energy_design = match config.org {
+            TlbOrg::Monolithic {
+                entries_per_core, ..
+            } => Some(NocDesign::Monolithic {
+                total_entries: entries_per_core * config.cores,
+            }),
+            TlbOrg::Distributed { slice_entries } => Some(NocDesign::Distributed { slice_entries }),
+            TlbOrg::Nocstar { slice_entries, .. } => Some(NocDesign::Nocstar { slice_entries }),
+            _ => None,
+        };
+        let label = workload.label().to_string();
+        let l1_config = config.l1_config();
+        Self {
+            mesh,
+            mem: MemorySystem::new(MemoryConfig::haswell(config.cores)),
+            l1s: (0..config.cores).map(|_| L1Tlb::new(l1_config)).collect(),
+            org,
+            net,
+            traces: workload.into_traces(),
+            threads: vec![
+                ThreadState {
+                    core: CoreId::new(0),
+                    pending: None,
+                    accesses_done: 0,
+                    finish_time: Cycle::ZERO,
+                    finished: false,
+                };
+                config.threads()
+            ],
+            walker_free: vec![Cycle::ZERO; config.cores],
+            events: EventQueue::new(),
+            txs: HashMap::new(),
+            next_tx: 0,
+            now: Cycle::ZERO,
+            target: 0,
+            warm_target: 0,
+            warm_crossed: 0,
+            warm_cross_time: vec![Cycle::ZERO; config.threads()],
+            completed_threads: 0,
+            last_completion: Cycle::ZERO,
+            label,
+            energy: EnergyAccount::default(),
+            energy_design,
+            translation_latency: LatencyRecorder::new(),
+            walks: Counter::new(),
+            walks_llc_or_mem: Counter::new(),
+            shootdowns: Counter::new(),
+            flushes: Counter::new(),
+            config,
+        }
+    }
+
+    fn core_of(&self, thread: usize) -> CoreId {
+        CoreId::new(thread / self.config.smt)
+    }
+
+    /// Runs until every hardware thread completes `accesses_per_thread`
+    /// memory accesses; returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks (no pending events while threads
+    /// are unfinished) — always a simulator bug.
+    pub fn run(self, accesses_per_thread: u64) -> SimReport {
+        self.run_measured(0, accesses_per_thread)
+    }
+
+    /// Runs a warmup of `warmup` accesses per thread (populating TLBs,
+    /// caches and page tables), resets all statistics once every thread
+    /// has crossed the warmup quota, then measures `measure` further
+    /// accesses per thread. Per-thread runtimes cover exactly the measured
+    /// quota (from each thread's own warmup crossing to its finish), so
+    /// speedups compare equal work.
+    ///
+    /// # Panics
+    ///
+    /// As [`run`](Self::run); additionally if `measure` is zero.
+    pub fn run_measured(mut self, warmup: u64, measure: u64) -> SimReport {
+        assert!(measure > 0, "need a nonzero measured quota");
+        let accesses_per_thread = warmup + measure;
+        self.warm_target = warmup;
+        self.warm_crossed = if warmup == 0 { self.threads.len() } else { 0 };
+        self.target = accesses_per_thread;
+        for t in 0..self.threads.len() {
+            self.threads[t].core = self.core_of(t);
+            self.thread_next(t);
+        }
+        while self.completed_threads < self.threads.len() {
+            let heap_next = self.events.next_time();
+            let net_next = self.net.next_activity();
+            let next = match (heap_next, net_next) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => panic!(
+                    "simulation stalled at {} with {} unfinished threads",
+                    self.now,
+                    self.threads.len() - self.completed_threads
+                ),
+            };
+            debug_assert!(next >= self.now, "time went backwards");
+            self.now = next;
+            while let Some((_, event)) = self.events.pop_due(self.now) {
+                self.handle_event(event);
+            }
+            if self.net.next_activity().is_some_and(|a| a <= self.now) {
+                for d in self.net.advance(self.now) {
+                    self.handle_delivery(d);
+                }
+            }
+        }
+        self.finish()
+    }
+
+    // ----- thread lifecycle ------------------------------------------------
+
+    fn thread_next(&mut self, t: usize) {
+        if self.threads[t].finished {
+            return;
+        }
+        let now = self.now;
+        match self.traces[t].next_event() {
+            TraceEvent::Access(a) => {
+                self.threads[t].pending = Some(a);
+                self.events.push(now + a.gap, Event::Issue(t));
+            }
+            TraceEvent::ContextSwitch => {
+                self.flushes.incr();
+                let core = self.threads[t].core;
+                self.l1s[core.index()].flush_non_global();
+                self.mem.flush_pwc(core);
+                if self.config.org.is_shared() {
+                    // Paper §V: every context switch flushes all shared
+                    // TLB contents on their x86 model.
+                    self.org.flush_all_non_global();
+                } else {
+                    self.org.flush_core_non_global(core);
+                }
+                self.events
+                    .push(now + CTX_SWITCH_COST, Event::ThreadNext(t));
+            }
+            TraceEvent::Remap(vpn) => {
+                let asid = self.traces[t].asid();
+                if self.mem.remap(asid, vpn).is_some() {
+                    // A page remap raises IPIs on every core: each handler
+                    // relays an invalidation per the leader policy.
+                    self.shootdown(asid, vpn, self.threads[t].core, true);
+                }
+                self.events.push(now + SHOOTDOWN_COST, Event::ThreadNext(t));
+            }
+            TraceEvent::Promote(v2m) => {
+                let asid = self.traces[t].asid();
+                // The microbenchmark allocated these pages before promoting.
+                for i in 0..v2m.page_size().base_pages() {
+                    let va = VirtAddr::new(v2m.base().value() + i * 4096);
+                    if self.mem.translate(asid, va).is_none() {
+                        self.mem
+                            .ensure_mapped(asid, va, nocstar_types::PageSize::Size4K);
+                    }
+                }
+                if let Some(stale) = self.mem.promote(asid, v2m) {
+                    // Promotion is driven by one kernel thread (khugepaged-
+                    // style): a single relay per stale page, not an IPI
+                    // broadcast, keeps the 512-page storm tractable.
+                    let core = self.threads[t].core;
+                    for vpn in stale {
+                        self.shootdown(asid, vpn, core, false);
+                    }
+                }
+                self.events.push(now + SHOOTDOWN_COST, Event::ThreadNext(t));
+            }
+            TraceEvent::Demote(v2m) => {
+                let asid = self.traces[t].asid();
+                if let Some(stale) = self.mem.demote(asid, v2m) {
+                    let core = self.threads[t].core;
+                    self.shootdown(asid, stale, core, false);
+                }
+                self.events.push(now + SHOOTDOWN_COST, Event::ThreadNext(t));
+            }
+        }
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        match event {
+            Event::ThreadNext(t) => self.thread_next(t),
+            Event::Issue(t) => self.issue(t),
+            Event::SliceDone(tx) => self.slice_done(tx),
+            Event::WalkDone(tx) => self.walk_done(tx),
+        }
+    }
+
+    // ----- the translation path --------------------------------------------
+
+    fn issue(&mut self, t: usize) {
+        let access = self.threads[t]
+            .pending
+            .take()
+            .expect("issue without access");
+        let core = self.threads[t].core;
+        let asid = self.traces[t].asid();
+        let va = access.va;
+        // Demand-map on first touch at the workload's chosen page size.
+        if self.mem.translate(asid, va).is_none() {
+            let size = self.traces[t].backing(va);
+            self.mem.ensure_mapped(asid, va, size);
+        }
+        self.energy.add_l1_lookup();
+        if let Some(entry) = self.l1s[core.index()].lookup(asid, va) {
+            // L1 TLB hit: translation overlaps the L1-cache access.
+            let pa = entry.translate(va);
+            let data = self.mem.access(core, pa, access.is_write);
+            self.complete_access(t, self.now + data_cost(data.latency));
+            return;
+        }
+        // L1 miss: go to the L2 organization. Miss detection costs the
+        // one-cycle L1 lookup.
+        let t_req = self.now + Cycles::ONE;
+        let size = self.traces[t].backing(va);
+        let vpn = va.page_number(size);
+        let (home_idx, home_tile) = self.org.home_of(vpn, core);
+        let id = self.alloc_tx();
+        let lookup = LookupTx {
+            thread: t,
+            requester: core,
+            va,
+            asid,
+            vpn,
+            is_write: access.is_write,
+            issued_at: self.now,
+            home_idx,
+            home_tile,
+            entry: None,
+            walked: false,
+            tracker_closed: false,
+        };
+        self.org.chip_tracker.begin();
+        self.org.trackers[home_idx].begin();
+        self.txs.insert(id, TxState::Lookup(lookup));
+        let local = home_tile == core || matches!(self.net, NetworkModel::None);
+        if local {
+            self.schedule_slice_lookup(id, t_req);
+        } else {
+            self.charge_message(core, home_tile);
+            self.net.submit(
+                t_req,
+                Message::new(id, core, home_tile, MsgKind::TlbRequest),
+            );
+        }
+    }
+
+    /// Schedules the home structure's SRAM lookup starting at `at` and
+    /// performs the functional lookup.
+    fn schedule_slice_lookup(&mut self, id: u64, at: Cycle) {
+        let Some(TxState::Lookup(mut lookup)) = self.txs.get(&id).copied() else {
+            panic!("slice lookup for unknown transaction {id}");
+        };
+        self.energy.add_l2_lookup(self.org.lookup_pj());
+        let slice = self.org.structure_mut(lookup.home_idx);
+        let done = slice.schedule_read(at);
+        lookup.entry = slice.lookup(lookup.asid, lookup.vpn);
+        self.txs.insert(id, TxState::Lookup(lookup));
+        self.events.push(done, Event::SliceDone(id));
+    }
+
+    fn slice_done(&mut self, id: u64) {
+        let Some(TxState::Lookup(mut lookup)) = self.txs.get(&id).copied() else {
+            panic!("slice done for unknown transaction {id}");
+        };
+        // The L2 access itself is over: close the concurrency trackers.
+        if !lookup.tracker_closed {
+            lookup.tracker_closed = true;
+            self.org.chip_tracker.end();
+            self.org.trackers[lookup.home_idx].end();
+            self.txs.insert(id, TxState::Lookup(lookup));
+        }
+        let local = lookup.home_tile == lookup.requester || matches!(self.net, NetworkModel::None);
+        match (lookup.entry, local) {
+            (Some(_), true) => {
+                let TxState::Lookup(l) = self.txs.remove(&id).expect("tx exists") else {
+                    unreachable!()
+                };
+                self.complete_translation(l);
+            }
+            (Some(_), false) => {
+                self.charge_message(lookup.home_tile, lookup.requester);
+                self.net.respond(
+                    Message::new(id, lookup.home_tile, lookup.requester, MsgKind::TlbResponse),
+                    self.now,
+                );
+            }
+            (None, _) => {
+                // Slice miss: walk per policy.
+                let walk_here = local || self.config.walk_policy == WalkPolicy::AtRemote;
+                if walk_here {
+                    let walk_core = if local {
+                        lookup.requester
+                    } else {
+                        lookup.home_tile
+                    };
+                    self.start_walk(id, walk_core);
+                } else {
+                    // Miss message back to the requester, which walks.
+                    self.charge_message(lookup.home_tile, lookup.requester);
+                    self.net.respond(
+                        Message::new(id, lookup.home_tile, lookup.requester, MsgKind::TlbResponse),
+                        self.now,
+                    );
+                }
+            }
+        }
+    }
+
+    fn start_walk(&mut self, id: u64, walk_core: CoreId) {
+        let Some(TxState::Lookup(mut lookup)) = self.txs.get(&id).copied() else {
+            panic!("walk for unknown transaction {id}");
+        };
+        let start = self.now.max(self.walker_free[walk_core.index()]);
+        let result =
+            self.mem
+                .walk_with(walk_core, lookup.asid, lookup.va, self.config.walk_latency);
+        self.walks.incr();
+        if result.touched_llc_or_memory() {
+            self.walks_llc_or_mem.incr();
+        }
+        for read in &result.pte_reads {
+            self.energy.add_walk_access(match read {
+                ServicedBy::Pwc => model::PWC_PJ,
+                ServicedBy::L1 => model::L1_CACHE_PJ,
+                ServicedBy::L2 => model::L2_CACHE_PJ,
+                ServicedBy::Llc => model::LLC_CACHE_PJ,
+                ServicedBy::Dram => model::DRAM_PJ,
+            });
+        }
+        let done = start + result.latency + WALK_REPLAY_PENALTY;
+        self.walker_free[walk_core.index()] = start + result.latency;
+        debug_assert_eq!(result.vpn, lookup.vpn, "walk resolved a different page");
+        lookup.entry = Some(TlbEntry::new(lookup.asid, result.vpn, result.ppn));
+        lookup.walked = true;
+        self.txs.insert(id, TxState::Lookup(lookup));
+        self.events.push(done, Event::WalkDone(id));
+    }
+
+    fn walk_done(&mut self, id: u64) {
+        let Some(TxState::Lookup(lookup)) = self.txs.get(&id).copied() else {
+            panic!("walk done for unknown transaction {id}");
+        };
+        let entry = lookup.entry.expect("walk stored the translation");
+        self.prefetch_around(lookup.vpn, lookup.asid);
+        let local = lookup.home_tile == lookup.requester || matches!(self.net, NetworkModel::None);
+        let walked_at_requester = local || self.config.walk_policy == WalkPolicy::AtRequester;
+        if walked_at_requester {
+            // Insert into the home structure (remotely if needed), then the
+            // translation is immediately usable at the requester.
+            if local {
+                self.insert_home(lookup.home_idx, entry);
+            } else {
+                let iid = self.alloc_tx();
+                self.txs.insert(iid, TxState::Insert(entry));
+                self.charge_message(lookup.requester, lookup.home_tile);
+                self.net.submit(
+                    self.now,
+                    Message::new(iid, lookup.requester, lookup.home_tile, MsgKind::Insert),
+                );
+            }
+            let TxState::Lookup(l) = self.txs.remove(&id).expect("tx exists") else {
+                unreachable!()
+            };
+            self.complete_translation(l);
+        } else {
+            // Walked at the remote node: insert locally, respond.
+            self.insert_home(lookup.home_idx, entry);
+            self.charge_message(lookup.home_tile, lookup.requester);
+            self.net.respond(
+                Message::new(id, lookup.home_tile, lookup.requester, MsgKind::TlbResponse),
+                self.now,
+            );
+        }
+    }
+
+    fn insert_home(&mut self, home_idx: usize, entry: TlbEntry) {
+        let now = self.now;
+        self.energy.add_l2_lookup(self.org.lookup_pj());
+        let slice = self.org.structure_mut(home_idx);
+        slice.schedule_write(now);
+        slice.insert(entry);
+    }
+
+    /// Adjacent-page prefetching into the shared structures (Table III).
+    fn prefetch_around(&mut self, vpn: VirtPageNum, asid: Asid) {
+        if !self.config.prefetch.is_enabled() {
+            return;
+        }
+        let candidates: Vec<VirtPageNum> = self.config.prefetch.candidates(vpn).collect();
+        for cand in candidates {
+            if let Some((mapped_vpn, ppn)) = self.mem.translate(asid, cand.base()) {
+                if mapped_vpn == cand {
+                    let (idx, _) = self.org.home_of(cand, CoreId::new(0));
+                    self.insert_home(idx, TlbEntry::new(asid, cand, ppn));
+                }
+            }
+        }
+    }
+
+    fn complete_translation(&mut self, lookup: LookupTx) {
+        debug_assert!(lookup.tracker_closed, "trackers left open");
+        let entry = lookup.entry.expect("translation resolved");
+        self.translation_latency.record(self.now - lookup.issued_at);
+        self.l1s[lookup.requester.index()].insert(entry);
+        let pa = entry.translate(lookup.va);
+        let data = self.mem.access(lookup.requester, pa, lookup.is_write);
+        self.complete_access(lookup.thread, self.now + data_cost(data.latency));
+    }
+
+    fn complete_access(&mut self, t: usize, done: Cycle) {
+        let state = &mut self.threads[t];
+        state.accesses_done += 1;
+        state.finish_time = done;
+        self.last_completion = self.last_completion.max(done);
+        if self.warm_target > 0 && state.accesses_done == self.warm_target {
+            self.warm_cross_time[t] = done;
+            self.warm_crossed += 1;
+            if self.warm_crossed == self.threads.len() {
+                self.reset_statistics();
+            }
+        }
+        let state = &mut self.threads[t];
+        if state.accesses_done >= self.target {
+            state.finished = true;
+            self.completed_threads += 1;
+        } else {
+            self.events.push(done, Event::ThreadNext(t));
+        }
+    }
+
+    // ----- shootdowns -------------------------------------------------------
+
+    /// Invalidates a stale translation chip-wide.
+    ///
+    /// With `ipi_broadcast`, every core's interrupt handler relays an
+    /// invalidation message per the leader policy (§III-G): with no
+    /// leaders, all cores' messages converge on the home slice; with
+    /// leaders, non-leader cores message their leader (which drops the
+    /// duplicates) and each leader relays one message to the slice.
+    /// Without `ipi_broadcast` (superpage promotion/demotion churn), only
+    /// the initiating core relays.
+    fn shootdown(&mut self, asid: Asid, vpn: VirtPageNum, initiator: CoreId, ipi_broadcast: bool) {
+        self.shootdowns.incr();
+        // IPIs reach every core: private L1s drop the stale translation.
+        for l1 in &mut self.l1s {
+            l1.invalidate(asid, vpn);
+        }
+        match self.config.org {
+            TlbOrg::Private { .. } | TlbOrg::IdealShared { .. } => {
+                // Each core's interrupt handler invalidates its own L2
+                // (private), or the slice is reached with zero latency.
+                self.org.invalidate(asid, vpn);
+            }
+            TlbOrg::Monolithic { .. } | TlbOrg::Distributed { .. } | TlbOrg::Nocstar { .. } => {
+                if matches!(self.net, NetworkModel::None) {
+                    // Zero-latency interconnect variants invalidate directly.
+                    self.org.invalidate(asid, vpn);
+                    return;
+                }
+                let (home_idx, home_tile) = self.org.home_of(vpn, initiator);
+                let inv = Invalidation { asid, vpn };
+                let relayers: Vec<CoreId> = if ipi_broadcast {
+                    CoreId::all(self.config.cores).collect()
+                } else {
+                    vec![initiator]
+                };
+                for core in relayers {
+                    let leader = self.config.leader_policy.leader_for(core);
+                    // Leaders (and direct-to-slice policies) send the slice
+                    // leg; other cores send an IPI-relay leg to their
+                    // leader, which is dropped on arrival (the leader's own
+                    // message carries the invalidation).
+                    let (dst, at_leader) = if leader == core {
+                        (home_tile, true)
+                    } else {
+                        (leader, false)
+                    };
+                    let id = self.alloc_tx();
+                    self.txs.insert(
+                        id,
+                        TxState::Inval {
+                            inv,
+                            home_idx,
+                            at_leader,
+                        },
+                    );
+                    self.charge_message(core, dst);
+                    self.net
+                        .submit(self.now, Message::new(id, core, dst, MsgKind::Invalidation));
+                }
+            }
+        }
+    }
+
+    // ----- network ----------------------------------------------------------
+
+    fn handle_delivery(&mut self, d: Delivery) {
+        let id = d.msg.id;
+        match d.msg.kind {
+            MsgKind::TlbRequest => self.schedule_slice_lookup(id, d.at),
+            MsgKind::TlbResponse => {
+                let Some(TxState::Lookup(lookup)) = self.txs.get(&id).copied() else {
+                    panic!("response for unknown transaction {id}");
+                };
+                if lookup.entry.is_some() {
+                    let TxState::Lookup(l) = self.txs.remove(&id).expect("tx exists") else {
+                        unreachable!()
+                    };
+                    self.complete_translation(l);
+                } else {
+                    // Miss reply: walk at the requesting core (Fig 17).
+                    self.start_walk(id, lookup.requester);
+                }
+            }
+            MsgKind::Insert => {
+                let Some(TxState::Insert(entry)) = self.txs.remove(&id) else {
+                    panic!("insert for unknown transaction {id}");
+                };
+                let vpn = entry.vpn();
+                let (home_idx, _) = self.org.home_of(vpn, d.msg.dst);
+                self.insert_home(home_idx, entry);
+            }
+            MsgKind::Invalidation => {
+                let Some(TxState::Inval {
+                    inv,
+                    home_idx,
+                    at_leader,
+                    ..
+                }) = self.txs.remove(&id)
+                else {
+                    panic!("invalidation for unknown transaction {id}");
+                };
+                if at_leader {
+                    // Arrived at the slice: invalidate (uses a write port).
+                    let now = self.now;
+                    let slice = self.org.structure_mut(home_idx);
+                    slice.schedule_write(now);
+                    slice.invalidate(inv.asid, inv.vpn);
+                }
+                // Non-leader relays end at the leader: the leader's own
+                // direct message performs the slice invalidation.
+            }
+        }
+    }
+
+    fn charge_message(&mut self, src: CoreId, dst: CoreId) {
+        if let Some(design) = self.energy_design {
+            let hops = self.mesh.hops(src, dst);
+            let e = model::message_energy(design, hops);
+            self.energy.add_noc(e.link + e.switch + e.control);
+        }
+    }
+
+    fn alloc_tx(&mut self) -> u64 {
+        self.next_tx += 1;
+        self.next_tx
+    }
+
+    // ----- wrap-up ----------------------------------------------------------
+
+    /// The warmup boundary: forget everything measured so far (contents of
+    /// TLBs, caches and page tables are kept).
+    fn reset_statistics(&mut self) {
+        for l1 in &mut self.l1s {
+            l1.reset_stats();
+        }
+        self.org.reset_stats();
+        self.mem.reset_cache_stats();
+        self.net.reset_stats();
+        self.energy = EnergyAccount::default();
+        self.translation_latency = LatencyRecorder::new();
+        self.walks = Counter::new();
+        self.walks_llc_or_mem = Counter::new();
+        self.shootdowns = Counter::new();
+        self.flushes = Counter::new();
+    }
+
+    fn finish(self) -> SimReport {
+        let durations: Vec<u64> = self
+            .threads
+            .iter()
+            .zip(&self.warm_cross_time)
+            .map(|(th, &cross)| (th.finish_time - cross).value())
+            .collect();
+        let runtime = Cycles::new(durations.iter().copied().max().unwrap_or(0));
+        // The energy account compares *dynamic* address-translation energy
+        // (TLB lookups, interconnect messages, page-walk memory accesses),
+        // as in McPAT-style studies. Leakage is excluded: total TLB SRAM is
+        // area-normalized across organizations and the interconnect's
+        // static power is ~1/4 of the SRAM's (Fig 9), so static terms are
+        // nearly org-invariant and, at this simulator's footprint-scaled
+        // event counts, would only drown the walk-elimination effect the
+        // paper's Fig 14 (right) isolates. `EnergyAccount::add_static`
+        // remains available for whole-chip studies.
+        let mut l1 = nocstar_stats::counter::HitMiss::new();
+        for l in &self.l1s {
+            l1.merge(l.stats());
+        }
+        let mut slice_concurrency = nocstar_stats::histogram::ConcurrencyBins::new();
+        for t in &self.org.trackers {
+            slice_concurrency.merge(t.bins());
+        }
+        SimReport {
+            label: self.label,
+            org_label: self.config.org.label().to_string(),
+            cores: self.config.cores,
+            cycles: runtime.value(),
+            accesses: self.threads.len() as u64 * (self.target - self.warm_target),
+            per_thread_finish: durations,
+            l1,
+            l2: self.org.merged_stats(),
+            per_structure: self.org.per_structure_stats(),
+            l2_occupancy: self.org.occupancy(),
+            walks: self.walks.get(),
+            walks_llc_or_mem: self.walks_llc_or_mem.get(),
+            shootdowns: self.shootdowns.get(),
+            flushes: self.flushes.get(),
+            chip_concurrency: self.org.chip_tracker.bins().clone(),
+            slice_concurrency,
+            translation_latency: self.translation_latency,
+            network: self.net.stats().cloned(),
+            energy: self.energy,
+        }
+    }
+}
+
+/// The visible cost of a data access under out-of-order overlap: the L1
+/// latency in full, plus 1/8 of anything beyond it (see [`DATA_MLP_SHIFT`]).
+fn data_cost(latency: Cycles) -> Cycles {
+    let l1 = 4u64;
+    let l = latency.value();
+    Cycles::new(l.min(l1) + (l.saturating_sub(l1) >> DATA_MLP_SHIFT))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::WorkloadAssignment;
+    use nocstar_workloads::preset::Preset;
+
+    fn run(cores: usize, org: TlbOrg, accesses: u64) -> SimReport {
+        let config = SystemConfig::new(cores, org);
+        let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+        Simulation::new(config, workload).run(accesses)
+    }
+
+    #[test]
+    fn private_baseline_runs_to_completion() {
+        let report = run(4, TlbOrg::paper_private(), 500);
+        assert_eq!(report.accesses, 4 * 500);
+        assert!(report.cycles > 0);
+        assert!(report.l1.accesses() >= 2000);
+        assert!(report.walks > 0);
+    }
+
+    #[test]
+    fn every_organization_completes_the_same_work() {
+        for org in [
+            TlbOrg::paper_private(),
+            TlbOrg::paper_monolithic(4),
+            TlbOrg::paper_distributed(),
+            TlbOrg::paper_nocstar(),
+            TlbOrg::paper_ideal(),
+        ] {
+            let report = run(4, org, 300);
+            assert_eq!(report.accesses, 1200, "{}", report.org_label);
+            assert!(report.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn shared_orgs_hit_where_private_misses() {
+        // Shared L2 capacity dedups the shared hot set, so the shared
+        // organizations must eliminate a large fraction of L2 misses.
+        let private = run(8, TlbOrg::paper_private(), 1500);
+        let ideal = run(8, TlbOrg::paper_ideal(), 1500);
+        assert!(private.l2.misses() > 0);
+        assert!(
+            ideal.l2.miss_rate() < private.l2.miss_rate(),
+            "shared {} vs private {}",
+            ideal.l2.miss_rate(),
+            private.l2.miss_rate()
+        );
+    }
+
+    #[test]
+    fn nocstar_beats_distributed_on_runtime() {
+        let distributed = run(16, TlbOrg::paper_distributed(), 800);
+        let nocstar = run(16, TlbOrg::paper_nocstar(), 800);
+        assert!(
+            nocstar.cycles < distributed.cycles,
+            "nocstar {} vs distributed {}",
+            nocstar.cycles,
+            distributed.cycles
+        );
+    }
+
+    #[test]
+    fn ideal_bounds_nocstar() {
+        let nocstar = run(16, TlbOrg::paper_nocstar(), 800);
+        let ideal = run(16, TlbOrg::paper_ideal(), 800);
+        assert!(ideal.cycles <= nocstar.cycles);
+    }
+
+    #[test]
+    fn network_stats_exist_only_for_networked_orgs() {
+        assert!(run(4, TlbOrg::paper_private(), 100).network.is_none());
+        assert!(run(4, TlbOrg::paper_nocstar(), 100).network.is_some());
+    }
+
+    #[test]
+    fn concurrency_trackers_quiesce() {
+        let report = run(4, TlbOrg::paper_nocstar(), 500);
+        // Every begun L2 access ended; totals match between views.
+        assert_eq!(
+            report.chip_concurrency.total(),
+            report.slice_concurrency.total()
+        );
+        assert!(report.chip_concurrency.total() > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(4, TlbOrg::paper_nocstar(), 400);
+        let b = run(4, TlbOrg::paper_nocstar(), 400);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.l2.misses(), b.l2.misses());
+        assert_eq!(a.walks, b.walks);
+    }
+
+    #[test]
+    fn walk_policies_both_complete() {
+        for policy in [WalkPolicy::AtRequester, WalkPolicy::AtRemote] {
+            let mut config = SystemConfig::new(8, TlbOrg::paper_nocstar());
+            config.walk_policy = policy;
+            let workload = WorkloadAssignment::preset(&config, Preset::Gups);
+            let report = Simulation::new(config, workload).run(300);
+            assert_eq!(report.accesses, 2400);
+            assert!(report.walks > 0);
+        }
+    }
+
+    #[test]
+    fn monolithic_smart_and_ideal_variants_run() {
+        for net in [
+            MonolithicNet::Mesh,
+            MonolithicNet::Smart(8),
+            MonolithicNet::Ideal,
+        ] {
+            let org = TlbOrg::Monolithic {
+                entries_per_core: 1024,
+                banks: 4,
+                net,
+                latency_override: None,
+            };
+            let report = run(8, org, 300);
+            assert_eq!(report.accesses, 2400, "{net:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_walk_latency_shrinks_translation_tail() {
+        let mut slow = SystemConfig::new(4, TlbOrg::paper_private());
+        slow.walk_latency = nocstar_mem::walker::WalkLatency::Fixed(Cycles::new(80));
+        let mut fast = slow;
+        fast.walk_latency = nocstar_mem::walker::WalkLatency::Fixed(Cycles::new(10));
+        let run_cfg = |config: SystemConfig| {
+            let w = WorkloadAssignment::preset(&config, Preset::Gups);
+            Simulation::new(config, w).run(800)
+        };
+        let slow_r = run_cfg(slow);
+        let fast_r = run_cfg(fast);
+        assert!(slow_r.cycles > fast_r.cycles);
+        assert!(slow_r.translation_latency.max() > fast_r.translation_latency.max());
+    }
+
+    #[test]
+    fn prefetch_reduces_misses_on_strided_traffic() {
+        // Sequential-ish cold accesses benefit from +/-2 prefetch.
+        let base_cfg = SystemConfig::new(4, TlbOrg::paper_nocstar());
+        let mut pf_cfg = base_cfg;
+        pf_cfg.prefetch = nocstar_tlb::prefetch::PrefetchDepth::new(2).unwrap();
+        let run_cfg = |config: SystemConfig| {
+            let w = WorkloadAssignment::preset(&config, Preset::Xsbench);
+            Simulation::new(config, w).run_measured(2_000, 3_000)
+        };
+        let without = run_cfg(base_cfg);
+        let with = run_cfg(pf_cfg);
+        assert!(
+            with.walks <= without.walks,
+            "prefetch should not add walks: {} vs {}",
+            with.walks,
+            without.walks
+        );
+    }
+
+    #[test]
+    fn smaller_l1_raises_l2_traffic() {
+        let mut small = SystemConfig::new(4, TlbOrg::paper_private());
+        small.l1_scale = 0.5;
+        let big_cfg = {
+            let mut c = small;
+            c.l1_scale = 1.5;
+            c
+        };
+        let run_cfg = |config: SystemConfig| {
+            let w = WorkloadAssignment::preset(&config, Preset::Redis);
+            Simulation::new(config, w).run(1_500)
+        };
+        let small_r = run_cfg(small);
+        let big_r = run_cfg(big_cfg);
+        assert!(
+            small_r.l2.accesses() > big_r.l2.accesses(),
+            "halved L1 must push more traffic to L2: {} vs {}",
+            small_r.l2.accesses(),
+            big_r.l2.accesses()
+        );
+    }
+
+    #[test]
+    fn round_trip_acquire_completes_with_shootdowns() {
+        // Regression: invalidation/insert traffic in round-trip mode must
+        // not deadlock the fabric.
+        let org = TlbOrg::Nocstar {
+            slice_entries: 920,
+            hpc_max: 16,
+            acquire: nocstar_noc::circuit::AcquireMode::RoundTrip,
+            ideal_fabric: false,
+        };
+        let config = SystemConfig::new(8, org);
+        let mut spec = Preset::Redis.spec();
+        spec.remaps_per_million = 5_000.0;
+        let workload = WorkloadAssignment::homogeneous(&config, spec);
+        let r = Simulation::new(config, workload).run(1_200);
+        assert_eq!(r.accesses, 8 * 1_200);
+        assert!(r.shootdowns > 0);
+    }
+
+    #[test]
+    fn shootdowns_happen_for_remapping_workloads() {
+        let mut config = SystemConfig::new(4, TlbOrg::paper_nocstar());
+        config.seed = 7;
+        let mut spec = Preset::Redis.spec();
+        spec.remaps_per_million = 20_000.0;
+        let workload = WorkloadAssignment::homogeneous(&config, spec);
+        let report = Simulation::new(config, workload).run(2000);
+        assert!(report.shootdowns > 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! The chip's memory system: per-core L1D/L2 caches, a shared LLC, DRAM,
+//! physical memory, and per-address-space page tables.
+
+use crate::cache::{Cache, CacheConfig};
+use crate::page_table::PageTable;
+use crate::phys::PhysMemory;
+use crate::pwc::{PteCache, DEFAULT_PWC_ENTRIES};
+use nocstar_stats::counter::HitMiss;
+use nocstar_types::time::Cycles;
+use nocstar_types::{Asid, CoreId, PageSize, PhysAddr, PhysPageNum, VirtAddr, VirtPageNum};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServicedBy {
+    /// Hit in the core's paging-structure cache (upper-level PTEs only).
+    Pwc,
+    /// Hit in the core's private L1 data cache.
+    L1,
+    /// Hit in the core's private L2 cache.
+    L2,
+    /// Hit in the shared last-level cache.
+    Llc,
+    /// Serviced by DRAM.
+    Dram,
+}
+
+impl fmt::Display for ServicedBy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServicedBy::Pwc => write!(f, "PWC"),
+            ServicedBy::L1 => write!(f, "L1"),
+            ServicedBy::L2 => write!(f, "L2"),
+            ServicedBy::Llc => write!(f, "LLC"),
+            ServicedBy::Dram => write!(f, "DRAM"),
+        }
+    }
+}
+
+/// The outcome of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Total access latency (the servicing level's latency).
+    pub latency: Cycles,
+    /// Which level serviced the access.
+    pub serviced_by: ServicedBy,
+}
+
+/// Memory-system sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Number of cores (each gets a private L1D and L2).
+    pub cores: usize,
+    /// Private L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Private L2 cache geometry.
+    pub l2: CacheConfig,
+    /// Shared LLC geometry.
+    pub llc: CacheConfig,
+    /// Latency of a DRAM access (beyond the LLC lookup that missed).
+    pub dram_latency: Cycles,
+    /// Simulated physical memory capacity in bytes.
+    pub phys_capacity: u64,
+}
+
+impl MemoryConfig {
+    /// The paper's Haswell configuration (§IV) for `cores` cores, with
+    /// physical capacity scaled to simulation-friendly footprints (the
+    /// paper's 2 TB machine is modelled by workload footprints that stress
+    /// the TLB identically at smaller absolute size).
+    pub fn haswell(cores: usize) -> Self {
+        Self {
+            cores,
+            l1d: CacheConfig::haswell_l1d(),
+            l2: CacheConfig::haswell_l2(),
+            llc: CacheConfig::haswell_llc(cores),
+            dram_latency: Cycles::new(200),
+            phys_capacity: 64 << 30,
+        }
+    }
+}
+
+/// The full memory system.
+///
+/// # Examples
+///
+/// ```
+/// use nocstar_mem::hierarchy::{MemoryConfig, MemorySystem, ServicedBy};
+/// use nocstar_types::{CoreId, PhysAddr};
+///
+/// let mut mem = MemorySystem::new(MemoryConfig::haswell(2));
+/// let pa = PhysAddr::new(0x4000);
+/// let cold = mem.access(CoreId::new(0), pa, false);
+/// assert_eq!(cold.serviced_by, ServicedBy::Dram);
+/// let warm = mem.access(CoreId::new(0), pa, false);
+/// assert_eq!(warm.serviced_by, ServicedBy::L1);
+/// // Another core misses its private caches but hits the shared LLC.
+/// let shared = mem.access(CoreId::new(1), pa, false);
+/// assert_eq!(shared.serviced_by, ServicedBy::Llc);
+/// ```
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: MemoryConfig,
+    l1s: Vec<Cache>,
+    l2s: Vec<Cache>,
+    llc: Cache,
+    phys: PhysMemory,
+    tables: HashMap<Asid, PageTable>,
+    pwcs: Vec<PteCache>,
+}
+
+impl MemorySystem {
+    /// Builds the memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cores` is zero or any cache geometry is invalid.
+    pub fn new(config: MemoryConfig) -> Self {
+        assert!(config.cores > 0, "need at least one core");
+        Self {
+            config,
+            l1s: (0..config.cores).map(|_| Cache::new(config.l1d)).collect(),
+            l2s: (0..config.cores).map(|_| Cache::new(config.l2)).collect(),
+            llc: Cache::new(config.llc),
+            phys: PhysMemory::new(config.phys_capacity),
+            tables: HashMap::new(),
+            pwcs: (0..config.cores)
+                .map(|_| PteCache::new(DEFAULT_PWC_ENTRIES))
+                .collect(),
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// One data (or PTE) access by `core` to physical address `pa`,
+    /// walking L1 → L2 → LLC → DRAM and filling on the way back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: CoreId, pa: PhysAddr, write: bool) -> AccessResult {
+        let c = core.index();
+        if self.l1s[c].access(pa, write) {
+            return AccessResult {
+                latency: self.l1s[c].latency(),
+                serviced_by: ServicedBy::L1,
+            };
+        }
+        if self.l2s[c].access(pa, write) {
+            return AccessResult {
+                latency: self.l2s[c].latency(),
+                serviced_by: ServicedBy::L2,
+            };
+        }
+        if self.llc.access(pa, write) {
+            return AccessResult {
+                latency: self.llc.latency(),
+                serviced_by: ServicedBy::Llc,
+            };
+        }
+        AccessResult {
+            latency: self.llc.latency() + self.config.dram_latency,
+            serviced_by: ServicedBy::Dram,
+        }
+    }
+
+    /// The page table of an address space, created on first use.
+    pub fn table_mut(&mut self, asid: Asid) -> &mut PageTable {
+        let phys = &mut self.phys;
+        self.tables
+            .entry(asid)
+            .or_insert_with(|| PageTable::new(phys))
+    }
+
+    /// Ensures `va` is mapped at the given page size (an OS demand-paging
+    /// fault on first touch); returns the backing frame.
+    pub fn ensure_mapped(&mut self, asid: Asid, va: VirtAddr, size: PageSize) -> PhysPageNum {
+        let vpn = va.page_number(size);
+        let phys = &mut self.phys;
+        let table = self
+            .tables
+            .entry(asid)
+            .or_insert_with(|| PageTable::new(phys));
+        table.map(vpn, &mut self.phys)
+    }
+
+    /// Functional translation with no timing or cache effects; `None` if
+    /// unmapped.
+    pub fn translate(&self, asid: Asid, va: VirtAddr) -> Option<(VirtPageNum, PhysPageNum)> {
+        self.tables.get(&asid)?.walk(va).mapping
+    }
+
+    /// Remaps a page to a fresh frame; returns the new frame if mapped.
+    pub fn remap(&mut self, asid: Asid, vpn: VirtPageNum) -> Option<PhysPageNum> {
+        let phys = &mut self.phys;
+        let table = self.tables.get_mut(&asid)?;
+        table.remap(vpn, phys)
+    }
+
+    /// Promotes 4 KiB pages under a 2 MiB region (see
+    /// [`PageTable::promote`]); returns the stale base pages.
+    pub fn promote(&mut self, asid: Asid, vpn_2m: VirtPageNum) -> Option<Vec<VirtPageNum>> {
+        let phys = &mut self.phys;
+        let table = self.tables.get_mut(&asid)?;
+        table.promote(vpn_2m, phys)
+    }
+
+    /// Demotes a 2 MiB mapping (see [`PageTable::demote`]); returns the
+    /// stale superpage.
+    pub fn demote(&mut self, asid: Asid, vpn_2m: VirtPageNum) -> Option<VirtPageNum> {
+        let phys = &mut self.phys;
+        let table = self.tables.get_mut(&asid)?;
+        table.demote(vpn_2m, phys)
+    }
+
+    /// Per-level hit/miss statistics: `(l1_combined, l2_combined, llc)`.
+    pub fn cache_stats(&self) -> (HitMiss, HitMiss, HitMiss) {
+        let mut l1 = HitMiss::new();
+        for c in &self.l1s {
+            l1.merge(c.stats());
+        }
+        let mut l2 = HitMiss::new();
+        for c in &self.l2s {
+            l2.merge(c.stats());
+        }
+        (l1, l2, self.llc.stats())
+    }
+
+    /// Clears cache statistics on every level.
+    pub fn reset_cache_stats(&mut self) {
+        for c in &mut self.l1s {
+            c.reset_stats();
+        }
+        for c in &mut self.l2s {
+            c.reset_stats();
+        }
+        self.llc.reset_stats();
+    }
+
+    /// The physical memory allocator (for inspection).
+    pub fn phys(&self) -> &PhysMemory {
+        &self.phys
+    }
+
+    /// The paging-structure cache of one core.
+    pub fn pwc_mut(&mut self, core: CoreId) -> &mut PteCache {
+        &mut self.pwcs[core.index()]
+    }
+
+    /// Flushes one core's paging-structure cache (context switch).
+    pub fn flush_pwc(&mut self, core: CoreId) {
+        self.pwcs[core.index()].flush();
+    }
+
+    pub(crate) fn phys_and_table(&mut self, asid: Asid) -> (&mut PhysMemory, Option<&PageTable>) {
+        (&mut self.phys, self.tables.get(&asid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(cores: usize) -> MemorySystem {
+        let mut cfg = MemoryConfig::haswell(cores);
+        cfg.phys_capacity = 1 << 30;
+        MemorySystem::new(cfg)
+    }
+
+    #[test]
+    fn access_walks_down_the_hierarchy() {
+        let mut mem = system(1);
+        let pa = PhysAddr::new(0x10_0000);
+        assert_eq!(
+            mem.access(CoreId::new(0), pa, false).serviced_by,
+            ServicedBy::Dram
+        );
+        assert_eq!(
+            mem.access(CoreId::new(0), pa, false).serviced_by,
+            ServicedBy::L1
+        );
+    }
+
+    #[test]
+    fn dram_latency_includes_llc_lookup() {
+        let mut mem = system(1);
+        let r = mem.access(CoreId::new(0), PhysAddr::new(0), false);
+        assert_eq!(r.latency, Cycles::new(250)); // 50 LLC + 200 DRAM
+    }
+
+    #[test]
+    fn private_caches_are_per_core_but_llc_is_shared() {
+        let mut mem = system(2);
+        let pa = PhysAddr::new(0x2000);
+        mem.access(CoreId::new(0), pa, false);
+        let other = mem.access(CoreId::new(1), pa, false);
+        assert_eq!(other.serviced_by, ServicedBy::Llc);
+        assert_eq!(other.latency, Cycles::new(50));
+    }
+
+    #[test]
+    fn ensure_mapped_is_idempotent_and_translates() {
+        let mut mem = system(1);
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x123_4567);
+        let f1 = mem.ensure_mapped(asid, va, PageSize::Size4K);
+        let f2 = mem.ensure_mapped(asid, va, PageSize::Size4K);
+        assert_eq!(f1, f2);
+        let (vpn, ppn) = mem.translate(asid, va).unwrap();
+        assert_eq!(ppn, f1);
+        assert_eq!(vpn, va.page_number(PageSize::Size4K));
+    }
+
+    #[test]
+    fn distinct_asids_have_distinct_tables() {
+        let mut mem = system(1);
+        let va = VirtAddr::new(0x5000);
+        let a = mem.ensure_mapped(Asid::new(1), va, PageSize::Size4K);
+        let b = mem.ensure_mapped(Asid::new(2), va, PageSize::Size4K);
+        assert_ne!(a, b);
+        assert!(mem.translate(Asid::new(3), va).is_none());
+    }
+
+    #[test]
+    fn remap_promote_demote_plumb_through() {
+        let mut mem = system(1);
+        let asid = Asid::new(1);
+        let v2m = VirtAddr::new(0x20_0000).page_number(PageSize::Size2M);
+        for i in 0..512u64 {
+            mem.ensure_mapped(
+                asid,
+                VirtAddr::new((v2m.to_base_pages() + i) << 12),
+                PageSize::Size4K,
+            );
+        }
+        let stale = mem.promote(asid, v2m).unwrap();
+        assert_eq!(stale.len(), 512);
+        let demoted = mem.demote(asid, v2m).unwrap();
+        assert_eq!(demoted, v2m);
+        let new = mem
+            .remap(asid, VirtAddr::new(0x20_0000).page_number(PageSize::Size4K))
+            .unwrap();
+        assert_eq!(
+            mem.translate(asid, VirtAddr::new(0x20_0000)).unwrap().1,
+            new
+        );
+    }
+
+    #[test]
+    fn cache_stats_aggregate_across_cores() {
+        let mut mem = system(2);
+        mem.access(CoreId::new(0), PhysAddr::new(0), false);
+        mem.access(CoreId::new(1), PhysAddr::new(0x8000), false);
+        let (l1, _l2, llc) = mem.cache_stats();
+        assert_eq!(l1.accesses(), 2);
+        assert_eq!(llc.misses(), 2);
+        mem.reset_cache_stats();
+        assert_eq!(mem.cache_stats().0.accesses(), 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! The hardware page-table walker.
+//!
+//! On an L2 TLB miss, the walker chases the radix table: up to four
+//! dependent PTE reads, each travelling through the cache hierarchy of the
+//! core performing the walk. That gives the paper's *variable* walk latency
+//! — typically 20–40 cycles when PTEs hit the cache hierarchy, 100+ when
+//! they go to DRAM. Table III also studies *fixed* walk latencies of
+//! 10/20/40/80 cycles, which [`WalkLatency::Fixed`] models by skipping the
+//! cache traversal.
+
+use crate::hierarchy::{MemorySystem, ServicedBy};
+use nocstar_types::time::Cycles;
+use nocstar_types::{Asid, CoreId, PhysPageNum, VirtAddr, VirtPageNum};
+use serde::{Deserialize, Serialize};
+
+/// How page-walk latency is charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WalkLatency {
+    /// Each PTE read travels through the walking core's cache hierarchy
+    /// (the paper's realistic default).
+    #[default]
+    Variable,
+    /// Every walk costs exactly this many cycles (Table III's fixed-N).
+    Fixed(Cycles),
+}
+
+/// The outcome of a completed page-table walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkResult {
+    /// The virtual page that was resolved (its size reflects the leaf
+    /// level the walk terminated at).
+    pub vpn: VirtPageNum,
+    /// The backing physical frame.
+    pub ppn: PhysPageNum,
+    /// Total walk latency.
+    pub latency: Cycles,
+    /// Which level serviced each PTE read (empty for fixed-latency walks).
+    pub pte_reads: Vec<ServicedBy>,
+}
+
+impl WalkResult {
+    /// True when any PTE read had to leave the private caches — the
+    /// paper's "page table walks that prompt LLC and main memory lookups"
+    /// (70–87 % of walks in their baseline).
+    pub fn touched_llc_or_memory(&self) -> bool {
+        self.pte_reads
+            .iter()
+            .any(|s| matches!(s, ServicedBy::Llc | ServicedBy::Dram))
+    }
+}
+
+impl MemorySystem {
+    /// Performs a page-table walk for `va` in address space `asid`, with
+    /// the PTE reads issued by `core` (the requesting core or the remote
+    /// slice's core, depending on the Fig 17 policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is not mapped — the simulator maps every workload
+    /// page on first touch, so an unmapped walk is a harness bug.
+    pub fn walk(&mut self, core: CoreId, asid: Asid, va: VirtAddr) -> WalkResult {
+        self.walk_with(core, asid, va, WalkLatency::Variable)
+    }
+
+    /// [`walk`](Self::walk) with an explicit latency policy.
+    ///
+    /// # Panics
+    ///
+    /// As [`walk`](Self::walk).
+    pub fn walk_with(
+        &mut self,
+        core: CoreId,
+        asid: Asid,
+        va: VirtAddr,
+        policy: WalkLatency,
+    ) -> WalkResult {
+        let outcome = {
+            let (_, table) = self.phys_and_table(asid);
+            table
+                .unwrap_or_else(|| panic!("walk in unknown address space {asid}"))
+                .walk(va)
+        };
+        let (vpn, ppn) = outcome
+            .mapping
+            .unwrap_or_else(|| panic!("walk of unmapped address {va} in {asid}"));
+        match policy {
+            WalkLatency::Fixed(latency) => WalkResult {
+                vpn,
+                ppn,
+                latency,
+                pte_reads: Vec::new(),
+            },
+            WalkLatency::Variable => {
+                let mut latency = Cycles::ZERO;
+                let mut pte_reads = Vec::with_capacity(outcome.pte_addrs.len());
+                let leaf = outcome.pte_addrs.len() - 1;
+                for (level, pa) in outcome.pte_addrs.iter().enumerate() {
+                    // Upper-level PTEs are served by the per-core paging-
+                    // structure cache when present; the leaf PTE always
+                    // reads the memory hierarchy.
+                    if level < leaf && self.pwc_mut(core).access(*pa) {
+                        latency += Cycles::ONE;
+                        pte_reads.push(ServicedBy::Pwc);
+                        continue;
+                    }
+                    let r = self.access(core, *pa, false);
+                    latency += r.latency;
+                    pte_reads.push(r.serviced_by);
+                }
+                WalkResult {
+                    vpn,
+                    ppn,
+                    latency,
+                    pte_reads,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::MemoryConfig;
+    use nocstar_types::PageSize;
+
+    fn system() -> MemorySystem {
+        let mut cfg = MemoryConfig::haswell(2);
+        cfg.phys_capacity = 1 << 30;
+        MemorySystem::new(cfg)
+    }
+
+    #[test]
+    fn cold_walk_pays_dram_for_every_level() {
+        let mut mem = system();
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x1234_5000);
+        mem.ensure_mapped(asid, va, PageSize::Size4K);
+        let walk = mem.walk(CoreId::new(0), asid, va);
+        assert_eq!(walk.pte_reads.len(), 4);
+        assert!(walk.pte_reads.iter().all(|s| *s == ServicedBy::Dram));
+        assert_eq!(walk.latency, Cycles::new(4 * 250));
+        assert!(walk.touched_llc_or_memory());
+    }
+
+    #[test]
+    fn warm_walks_are_cheap() {
+        let mut mem = system();
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x1234_5000);
+        mem.ensure_mapped(asid, va, PageSize::Size4K);
+        mem.walk(CoreId::new(0), asid, va);
+        let warm = mem.walk(CoreId::new(0), asid, va);
+        // Upper levels hit the PWC (1 cycle each); the leaf PTE hits L1.
+        assert_eq!(
+            warm.pte_reads,
+            vec![
+                ServicedBy::Pwc,
+                ServicedBy::Pwc,
+                ServicedBy::Pwc,
+                ServicedBy::L1
+            ]
+        );
+        assert_eq!(warm.latency, Cycles::new(3 + 4));
+        assert!(!warm.touched_llc_or_memory());
+    }
+
+    #[test]
+    fn pwc_is_per_core() {
+        let mut mem = system();
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x1234_5000);
+        mem.ensure_mapped(asid, va, PageSize::Size4K);
+        mem.walk(CoreId::new(0), asid, va);
+        // Core 1's PWC is cold, so its upper reads go to the caches.
+        let other = mem.walk(CoreId::new(1), asid, va);
+        assert!(other.pte_reads.iter().all(|s| *s != ServicedBy::Pwc));
+    }
+
+    #[test]
+    fn pwc_flush_restores_cold_upper_levels() {
+        let mut mem = system();
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x1234_5000);
+        mem.ensure_mapped(asid, va, PageSize::Size4K);
+        mem.walk(CoreId::new(0), asid, va);
+        mem.flush_pwc(CoreId::new(0));
+        let after = mem.walk(CoreId::new(0), asid, va);
+        assert!(after.pte_reads.iter().all(|s| *s != ServicedBy::Pwc));
+    }
+
+    #[test]
+    fn superpage_walks_have_fewer_reads() {
+        let mut mem = system();
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x4000_0000);
+        mem.ensure_mapped(asid, va, PageSize::Size2M);
+        let walk = mem.walk(CoreId::new(0), asid, va.offset(0x1234));
+        assert_eq!(walk.pte_reads.len(), 3);
+        assert_eq!(walk.vpn.page_size(), PageSize::Size2M);
+    }
+
+    #[test]
+    fn fixed_latency_skips_the_caches() {
+        let mut mem = system();
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x9000);
+        mem.ensure_mapped(asid, va, PageSize::Size4K);
+        let walk = mem.walk_with(
+            CoreId::new(0),
+            asid,
+            va,
+            WalkLatency::Fixed(Cycles::new(20)),
+        );
+        assert_eq!(walk.latency, Cycles::new(20));
+        assert!(walk.pte_reads.is_empty());
+        assert!(!walk.touched_llc_or_memory());
+        // The caches saw no PTE traffic.
+        assert_eq!(mem.cache_stats().0.accesses(), 0);
+    }
+
+    #[test]
+    fn walks_pollute_the_walking_cores_caches() {
+        // The Fig 17 "walk at remote node" policy pollutes the remote
+        // core's caches; verify walks are attributed to the given core.
+        let mut mem = system();
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x7000);
+        mem.ensure_mapped(asid, va, PageSize::Size4K);
+        mem.walk(CoreId::new(1), asid, va);
+        let warm_remote = mem.walk(CoreId::new(1), asid, va);
+        assert_eq!(warm_remote.pte_reads.last(), Some(&ServicedBy::L1));
+        // Core 0 still misses privately (hits shared LLC).
+        let cross = mem.walk(CoreId::new(0), asid, va);
+        assert!(cross.pte_reads.iter().all(|s| *s == ServicedBy::Llc));
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped")]
+    fn walking_an_unmapped_page_panics() {
+        let mut mem = system();
+        let asid = Asid::new(1);
+        mem.ensure_mapped(asid, VirtAddr::new(0x1000), PageSize::Size4K);
+        mem.walk(CoreId::new(0), asid, VirtAddr::new(0xdead_0000));
+    }
+}

@@ -1,0 +1,187 @@
+//! A shared-bus interconnect (Table I's "Bus" row).
+//!
+//! One transaction owns the whole medium per cycle: latency is excellent
+//! at low load (arbitrate, then a single broadcast cycle reaches any
+//! destination), but bandwidth is one message per cycle chip-wide and
+//! every transfer swings the full bus — the paper's "+/−" latency/bandwidth
+//! marks. Included as a measurable baseline for the Table I comparison and
+//! for ablation against the NOCSTAR fabric at matching load.
+
+use crate::message::{Delivery, Message};
+use crate::{Interconnect, NocStats};
+use nocstar_types::time::{Cycle, Cycles};
+use nocstar_types::MeshShape;
+use std::collections::VecDeque;
+
+/// The bus network model.
+///
+/// # Examples
+///
+/// ```
+/// use nocstar_noc::bus::BusNoc;
+/// use nocstar_noc::message::{Message, MsgKind};
+/// use nocstar_noc::Interconnect;
+/// use nocstar_types::{CoreId, Cycle, MeshShape};
+///
+/// let mut bus = BusNoc::new(MeshShape::square_for(16));
+/// bus.submit(Cycle::ZERO, Message::new(1, CoreId::new(0), CoreId::new(15), MsgKind::TlbRequest));
+/// bus.advance(Cycle::ZERO);
+/// let d = bus.advance(Cycle::new(1));
+/// assert_eq!(d[0].at, Cycle::new(1)); // grant at 0, broadcast during 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct BusNoc {
+    /// FIFO of (message, submitted_at) awaiting the bus.
+    pending: VecDeque<(Message, Cycle)>,
+    /// The broadcast in flight, if any: (message, arrival, submitted_at).
+    in_flight: Option<(Message, Cycle, Cycle)>,
+    /// Local (same-tile) messages, delivered without touching the bus.
+    local_ready: Vec<(Message, Cycle)>,
+    stats: NocStats,
+}
+
+impl BusNoc {
+    /// Builds a bus spanning the chip (the shape only scales analytical
+    /// energy elsewhere; bus latency is distance-independent).
+    pub fn new(_mesh: MeshShape) -> Self {
+        Self {
+            pending: VecDeque::new(),
+            in_flight: None,
+            local_ready: Vec::new(),
+            stats: NocStats::default(),
+        }
+    }
+}
+
+impl Interconnect for BusNoc {
+    fn submit(&mut self, now: Cycle, msg: Message) {
+        if msg.is_local() {
+            self.local_ready.push((msg, now));
+            return;
+        }
+        self.pending.push_back((msg, now));
+    }
+
+    fn advance(&mut self, cycle: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        // Local messages bypass the bus entirely.
+        let mut kept = Vec::new();
+        for (msg, at) in self.local_ready.drain(..) {
+            if at <= cycle {
+                self.stats.delivered += 1;
+                self.stats.no_contention += 1;
+                self.stats.latency.record(Cycles::ZERO);
+                out.push(Delivery { msg, at });
+            } else {
+                kept.push((msg, at));
+            }
+        }
+        self.local_ready = kept;
+        // Deliver the completed broadcast.
+        if let Some((msg, at, submitted)) = self.in_flight {
+            if at <= cycle {
+                self.in_flight = None;
+                self.stats.delivered += 1;
+                self.stats.latency.record(at - submitted);
+                if at - submitted <= Cycles::ONE {
+                    self.stats.no_contention += 1;
+                } else {
+                    self.stats.retries += 1;
+                }
+                out.push(Delivery { msg, at });
+            }
+        }
+        // Grant the bus to the oldest waiter.
+        if self.in_flight.is_none() {
+            if let Some(&(msg, submitted)) = self.pending.front() {
+                if submitted <= cycle {
+                    self.pending.pop_front();
+                    self.in_flight = Some((msg, cycle + Cycles::ONE, submitted));
+                }
+            }
+        }
+        out
+    }
+
+    fn next_activity(&self) -> Option<Cycle> {
+        let flight = self.in_flight.map(|(_, at, _)| at);
+        let queue = self.pending.front().map(|&(_, at)| at);
+        let local = self.local_ready.iter().map(|&(_, at)| at).min();
+        [flight, queue, local].into_iter().flatten().min()
+    }
+
+    fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = NocStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MsgKind;
+    use nocstar_types::CoreId;
+
+    fn msg(id: u64, src: usize, dst: usize) -> Message {
+        Message::new(id, CoreId::new(src), CoreId::new(dst), MsgKind::TlbRequest)
+    }
+
+    fn drain(bus: &mut BusNoc, from: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        let mut cycle = from;
+        for _ in 0..10_000 {
+            match bus.next_activity() {
+                None => return out,
+                Some(next) => {
+                    cycle = cycle.max(next);
+                    out.extend(bus.advance(cycle));
+                    cycle = cycle + Cycles::ONE;
+                }
+            }
+        }
+        panic!("bus did not quiesce");
+    }
+
+    #[test]
+    fn single_message_takes_two_cycles_regardless_of_distance() {
+        let mut bus = BusNoc::new(MeshShape::square_for(64));
+        bus.submit(Cycle::ZERO, msg(1, 0, 63));
+        let d = drain(&mut bus, Cycle::ZERO);
+        assert_eq!(d[0].at, Cycle::new(1));
+    }
+
+    #[test]
+    fn bandwidth_is_one_message_per_cycle() {
+        let mut bus = BusNoc::new(MeshShape::square_for(16));
+        for i in 0..4 {
+            bus.submit(Cycle::ZERO, msg(i, i as usize, 15));
+        }
+        let d = drain(&mut bus, Cycle::ZERO);
+        let times: Vec<u64> = d.iter().map(|d| d.at.value()).collect();
+        assert_eq!(times, vec![1, 2, 3, 4]);
+        assert!(bus.stats().retries > 0);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut bus = BusNoc::new(MeshShape::square_for(16));
+        bus.submit(Cycle::new(0), msg(10, 0, 5));
+        bus.submit(Cycle::new(0), msg(11, 1, 6));
+        let d = drain(&mut bus, Cycle::ZERO);
+        assert_eq!(d[0].msg.id, 10);
+        assert_eq!(d[1].msg.id, 11);
+    }
+
+    #[test]
+    fn stats_count_latency() {
+        let mut bus = BusNoc::new(MeshShape::square_for(16));
+        bus.submit(Cycle::ZERO, msg(1, 0, 3));
+        bus.submit(Cycle::ZERO, msg(2, 1, 3));
+        drain(&mut bus, Cycle::ZERO);
+        assert_eq!(bus.stats().delivered, 2);
+        assert!(bus.stats().latency.max() >= Cycles::new(2));
+    }
+}

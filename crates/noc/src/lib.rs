@@ -1,0 +1,119 @@
+//! On-chip networks for the NOCSTAR simulator.
+//!
+//! The paper's contribution is a TLB-specialized interconnect; this crate
+//! implements it and the baselines it is compared against (Table I):
+//!
+//! * [`message`] — single-flit TLB request/response/invalidation messages.
+//! * [`topology`] — directed mesh links and XY path-to-link mapping.
+//! * [`bus`] — a shared-bus baseline (latency-friendly, bandwidth-starved).
+//! * [`mesh`] — a traditional multi-hop mesh (1-cycle router + 1-cycle
+//!   link per hop), with per-link contention or the paper's generous
+//!   contention-free variant used for the `distributed` baseline.
+//! * [`smart`] — the SMART NoC \[48\]: dynamic multi-hop bypass up to
+//!   `HPCmax` hops per cycle, falling back to latching under contention.
+//! * [`arbiter`] — NOCSTAR's per-link arbiters: static priority, rotated
+//!   round-robin every 1000 cycles to prevent starvation (§III-B2).
+//! * [`circuit`] — the NOCSTAR fabric itself: latchless switches,
+//!   same-cycle full-path acquisition (AND of per-link grants), retry on
+//!   partial failure, single-cycle traversal up to `HPCmax` hops, and
+//!   one-way vs. round-trip acquire modes (Fig 16 left).
+//! * [`traffic`] — the uniform-random synthetic-traffic harness of Fig 11(c).
+//! * [`latency`] — the analytical per-hop latency model behind Fig 11(a).
+//!
+//! All network models implement [`Interconnect`], a cycle-batch API: the
+//! simulator submits messages, then advances the network one active cycle
+//! at a time, collecting deliveries. Same-cycle arbitration is resolved for
+//! all competing messages together, which is what makes NOCSTAR's
+//! "all links in one cycle or retry" semantics exact.
+//!
+//! # Examples
+//!
+//! ```
+//! use nocstar_noc::circuit::{AcquireMode, CircuitFabric};
+//! use nocstar_noc::message::{Message, MsgKind};
+//! use nocstar_noc::Interconnect;
+//! use nocstar_types::{CoreId, Cycle, MeshShape};
+//!
+//! let mut fabric = CircuitFabric::new(MeshShape::square_for(16), 16, AcquireMode::OneWay);
+//! let msg = Message::new(1, CoreId::new(0), CoreId::new(15), MsgKind::TlbRequest);
+//! fabric.submit(Cycle::new(10), msg);
+//! assert!(fabric.advance(Cycle::new(10)).is_empty()); // path setup at cycle 10
+//! let deliveries = fabric.advance(Cycle::new(11));
+//! // 1 cycle of path setup + 1 cycle traversal: arrives at cycle 11.
+//! assert_eq!(deliveries[0].at, Cycle::new(11));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod bus;
+pub mod circuit;
+pub mod latency;
+pub mod mesh;
+pub mod message;
+pub mod smart;
+pub mod topology;
+pub mod traffic;
+
+pub use bus::BusNoc;
+pub use circuit::CircuitFabric;
+pub use mesh::MeshNoc;
+pub use message::{Delivery, Message, MsgKind};
+pub use smart::SmartNoc;
+
+use nocstar_stats::latency::LatencyRecorder;
+use nocstar_types::time::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Cycle-batch interface shared by every network model.
+///
+/// Contract: `advance(c)` must be called with non-decreasing cycles, and a
+/// message must be submitted with `now` no later than the next `advance`
+/// cycle. `next_activity` tells the event-driven simulator the earliest
+/// cycle at which calling `advance` can make progress, so idle stretches
+/// are skipped.
+pub trait Interconnect {
+    /// Submits a message that wants to depart at `now` (or as soon after
+    /// as arbitration allows).
+    fn submit(&mut self, now: Cycle, msg: Message);
+
+    /// Resolves one cycle of network activity; returns messages delivered
+    /// at or before `cycle` (local messages deliver in the same cycle).
+    fn advance(&mut self, cycle: Cycle) -> Vec<Delivery>;
+
+    /// The earliest cycle at which the network has work to do, if any.
+    fn next_activity(&self) -> Option<Cycle>;
+
+    /// Aggregate network statistics.
+    fn stats(&self) -> &NocStats;
+
+    /// Clears aggregate statistics (e.g. after simulation warmup).
+    fn reset_stats(&mut self);
+}
+
+/// Statistics common to all network models.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NocStats {
+    /// End-to-end network latency per delivered message (submit → arrival).
+    pub latency: LatencyRecorder,
+    /// Messages that were granted their full path on the first attempt
+    /// with no buffering anywhere (NOCSTAR / SMART) or that never stalled
+    /// (mesh).
+    pub no_contention: u64,
+    /// Total delivered messages.
+    pub delivered: u64,
+    /// Path-setup retries (NOCSTAR) or per-hop stalls (mesh / SMART).
+    pub retries: u64,
+}
+
+impl NocStats {
+    /// Fraction of messages that experienced no contention at all.
+    pub fn no_contention_fraction(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.no_contention as f64 / self.delivered as f64
+        }
+    }
+}

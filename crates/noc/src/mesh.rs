@@ -1,0 +1,329 @@
+//! A traditional multi-hop mesh NoC (Table I's "Mesh" row).
+//!
+//! Each hop costs one router cycle plus one link cycle. In `contended`
+//! mode, flits arbitrate per directed link each cycle (oldest first) and
+//! stall on loss — this is the mesh that Fig 11(c) loads with synthetic
+//! traffic. In `contention_free` mode every message sails through at
+//! 2 cycles/hop, which is the generous baseline the paper grants the
+//! `distributed` configuration ("we place enough buffers and links in the
+//! system to prevent link contention", §IV).
+
+use crate::message::{Delivery, Message};
+use crate::topology::Links;
+use crate::{Interconnect, NocStats};
+use nocstar_types::time::{Cycle, Cycles};
+use nocstar_types::{Coord, MeshShape};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Cycles per hop: one for the router, one for the link.
+pub const CYCLES_PER_HOP: u64 = 2;
+
+#[derive(Debug, Clone)]
+struct Flight {
+    msg: Message,
+    tiles: Vec<Coord>,
+    pos: usize,
+    ready_at: Cycle,
+    submitted_at: Cycle,
+    stalled: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    at: Cycle,
+    seq: u64,
+    msg: Message,
+    submitted_at: Cycle,
+    stalled: bool,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The mesh network model.
+///
+/// # Examples
+///
+/// ```
+/// use nocstar_noc::mesh::{MeshNoc, CYCLES_PER_HOP};
+/// use nocstar_noc::message::{Message, MsgKind};
+/// use nocstar_noc::Interconnect;
+/// use nocstar_types::{CoreId, Cycle, MeshShape};
+///
+/// let mut mesh = MeshNoc::contention_free(MeshShape::new(4, 4));
+/// mesh.submit(Cycle::ZERO, Message::new(1, CoreId::new(0), CoreId::new(15), MsgKind::TlbRequest));
+/// let d = mesh.advance(Cycle::new(12));
+/// assert_eq!(d[0].at, Cycle::new(6 * CYCLES_PER_HOP)); // 6 hops
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeshNoc {
+    links: Links,
+    contention_free: bool,
+    flights: Vec<Flight>,
+    scheduled: BinaryHeap<Scheduled>,
+    seq: u64,
+    stats: NocStats,
+}
+
+impl MeshNoc {
+    /// A mesh with per-link contention (used under synthetic load).
+    pub fn contended(mesh: MeshShape) -> Self {
+        Self {
+            links: Links::new(mesh),
+            contention_free: false,
+            flights: Vec::new(),
+            scheduled: BinaryHeap::new(),
+            seq: 0,
+            stats: NocStats::default(),
+        }
+    }
+
+    /// The paper's idealized mesh: enough buffering that no message ever
+    /// stalls; latency is purely `2 x hops`.
+    pub fn contention_free(mesh: MeshShape) -> Self {
+        let mut noc = Self::contended(mesh);
+        noc.contention_free = true;
+        noc
+    }
+
+    /// The mesh shape this network spans.
+    pub fn mesh(&self) -> MeshShape {
+        self.links.mesh()
+    }
+
+    fn schedule(&mut self, msg: Message, at: Cycle, submitted_at: Cycle, stalled: bool) {
+        self.seq += 1;
+        self.scheduled.push(Scheduled {
+            at,
+            seq: self.seq,
+            msg,
+            submitted_at,
+            stalled,
+        });
+    }
+
+    fn step_flights(&mut self, cycle: Cycle) {
+        if self.flights.is_empty() {
+            return;
+        }
+        // Oldest-first arbitration per directed link.
+        let mut order: Vec<usize> = (0..self.flights.len())
+            .filter(|&i| self.flights[i].ready_at <= cycle)
+            .collect();
+        order.sort_by_key(|&i| (self.flights[i].submitted_at, self.flights[i].msg.id));
+
+        let mut claimed: HashMap<usize, ()> = HashMap::new();
+        let mut done: Vec<usize> = Vec::new();
+        for &i in &order {
+            let (from, to) = {
+                let f = &self.flights[i];
+                (f.tiles[f.pos], f.tiles[f.pos + 1])
+            };
+            let link = self.links.link_between(from, to).index();
+            if claimed.contains_key(&link) {
+                let f = &mut self.flights[i];
+                f.ready_at = cycle + Cycles::ONE;
+                f.stalled = true;
+                self.stats.retries += 1;
+                continue;
+            }
+            claimed.insert(link, ());
+            let f = &mut self.flights[i];
+            f.pos += 1;
+            if f.pos + 1 == f.tiles.len() {
+                let arrival = cycle + Cycles::new(CYCLES_PER_HOP);
+                let (msg, submitted_at, stalled) = (f.msg, f.submitted_at, f.stalled);
+                done.push(i);
+                self.schedule(msg, arrival, submitted_at, stalled);
+            } else {
+                f.ready_at = cycle + Cycles::new(CYCLES_PER_HOP);
+            }
+        }
+        let mut index = 0usize;
+        self.flights.retain(|_| {
+            let keep = !done.contains(&index);
+            index += 1;
+            keep
+        });
+    }
+}
+
+impl Interconnect for MeshNoc {
+    fn submit(&mut self, now: Cycle, msg: Message) {
+        if msg.is_local() {
+            self.schedule(msg, now, now, false);
+            return;
+        }
+        if self.contention_free {
+            let hops = self.links.mesh().hops(msg.src, msg.dst) as u64;
+            self.schedule(msg, now + Cycles::new(hops * CYCLES_PER_HOP), now, false);
+            return;
+        }
+        let tiles: Vec<Coord> = self.links.mesh().xy_path(msg.src, msg.dst).collect();
+        self.flights.push(Flight {
+            msg,
+            tiles,
+            pos: 0,
+            ready_at: now,
+            submitted_at: now,
+            stalled: false,
+        });
+    }
+
+    fn advance(&mut self, cycle: Cycle) -> Vec<Delivery> {
+        self.step_flights(cycle);
+        let mut out = Vec::new();
+        while let Some(top) = self.scheduled.peek() {
+            if top.at > cycle {
+                break;
+            }
+            let s = self.scheduled.pop().expect("peeked");
+            self.stats.delivered += 1;
+            self.stats.latency.record(s.at - s.submitted_at);
+            if !s.stalled {
+                self.stats.no_contention += 1;
+            }
+            out.push(Delivery {
+                msg: s.msg,
+                at: s.at,
+            });
+        }
+        out
+    }
+
+    fn next_activity(&self) -> Option<Cycle> {
+        let flight_min = self.flights.iter().map(|f| f.ready_at).min();
+        let sched_min = self.scheduled.peek().map(|s| s.at);
+        match (flight_min, sched_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = NocStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MsgKind;
+    use nocstar_types::CoreId;
+
+    fn msg(id: u64, src: usize, dst: usize) -> Message {
+        Message::new(id, CoreId::new(src), CoreId::new(dst), MsgKind::TlbRequest)
+    }
+
+    fn drain(noc: &mut MeshNoc) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        let mut cycle = Cycle::ZERO;
+        for _ in 0..100_000 {
+            match noc.next_activity() {
+                None => return out,
+                Some(next) => {
+                    cycle = cycle.max(next);
+                    out.extend(noc.advance(cycle));
+                    cycle += Cycles::ONE;
+                }
+            }
+        }
+        panic!("mesh did not quiesce");
+    }
+
+    #[test]
+    fn contention_free_latency_is_two_cycles_per_hop() {
+        let mut noc = MeshNoc::contention_free(MeshShape::new(8, 4));
+        noc.submit(Cycle::new(10), msg(1, 0, 31)); // 7 + 3 = 10 hops
+        let d = drain(&mut noc);
+        assert_eq!(d[0].at, Cycle::new(10 + 20));
+    }
+
+    #[test]
+    fn contended_uncongested_matches_contention_free() {
+        let mut noc = MeshNoc::contended(MeshShape::new(4, 1));
+        noc.submit(Cycle::ZERO, msg(1, 0, 3));
+        let d = drain(&mut noc);
+        assert_eq!(d[0].at, Cycle::new(6)); // 3 hops x 2 cycles
+        assert_eq!(noc.stats().no_contention, 1);
+    }
+
+    #[test]
+    fn shared_link_causes_a_stall() {
+        // Both messages start by crossing link 1->2 in the same cycle.
+        let mut noc = MeshNoc::contended(MeshShape::new(4, 1));
+        noc.submit(Cycle::ZERO, msg(1, 1, 3));
+        noc.submit(Cycle::ZERO, msg(2, 1, 3));
+        let d = drain(&mut noc);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].at, Cycle::new(4)); // 2 hops * 2
+        assert!(d[1].at > d[0].at);
+        assert!(noc.stats().retries > 0);
+        assert_eq!(noc.stats().no_contention, 1);
+    }
+
+    #[test]
+    fn local_messages_deliver_immediately() {
+        let mut noc = MeshNoc::contended(MeshShape::new(4, 4));
+        noc.submit(Cycle::new(2), msg(1, 5, 5));
+        let d = noc.advance(Cycle::new(2));
+        assert_eq!(d[0].at, Cycle::new(2));
+    }
+
+    #[test]
+    fn stats_record_latency() {
+        let mut noc = MeshNoc::contention_free(MeshShape::new(4, 4));
+        noc.submit(Cycle::ZERO, msg(1, 0, 1));
+        drain(&mut noc);
+        assert_eq!(noc.stats().latency.mean(), 2.0);
+        assert_eq!(noc.stats().delivered, 1);
+    }
+
+    proptest::proptest! {
+        /// No message is lost or duplicated under arbitrary traffic.
+        #[test]
+        fn prop_mesh_delivers_everything(
+            sends in proptest::collection::vec((0usize..16, 0usize..16, 0u64..30), 1..50),
+            contended in proptest::prelude::any::<bool>(),
+        ) {
+            let shape = MeshShape::square_for(16);
+            let mut noc = if contended {
+                MeshNoc::contended(shape)
+            } else {
+                MeshNoc::contention_free(shape)
+            };
+            for (i, &(src, dst, at)) in sends.iter().enumerate() {
+                noc.submit(Cycle::new(at), msg(i as u64, src, dst));
+            }
+            let mut seen = std::collections::HashSet::new();
+            let mut cycle = Cycle::ZERO;
+            for _ in 0..100_000 {
+                match noc.next_activity() {
+                    None => break,
+                    Some(next) => {
+                        cycle = cycle.max(next);
+                        for d in noc.advance(cycle) {
+                            proptest::prop_assert!(seen.insert(d.msg.id), "duplicate");
+                        }
+                        cycle = cycle + Cycles::ONE;
+                    }
+                }
+            }
+            proptest::prop_assert_eq!(seen.len(), sends.len());
+            proptest::prop_assert_eq!(noc.next_activity(), None);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Event counters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use nocstar_stats::counter::Counter;
+/// let mut walks = Counter::default();
+/// walks.incr();
+/// walks.add(4);
+/// assert_eq!(walks.get(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// This count as a fraction of `total` (0.0 if `total` is zero).
+    pub fn fraction_of(self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+
+    /// Merges another counter into this one (used when reducing per-core
+    /// stats into chip-wide totals).
+    pub fn merge(&mut self, other: Counter) {
+        self.0 += other.0;
+    }
+}
+
+impl AddAssign<u64> for Counter {
+    fn add_assign(&mut self, n: u64) {
+        self.add(n);
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A paired hit/miss counter for cache-like structures.
+///
+/// # Examples
+///
+/// ```
+/// use nocstar_stats::counter::HitMiss;
+/// let mut tlb = HitMiss::default();
+/// for hit in [true, true, false, true] {
+///     tlb.record(hit);
+/// }
+/// assert_eq!(tlb.accesses(), 4);
+/// assert_eq!(tlb.misses(), 1);
+/// assert!((tlb.miss_rate() - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HitMiss {
+    hits: Counter,
+    misses: Counter,
+}
+
+impl HitMiss {
+    /// A hit/miss pair starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.hits.incr();
+        } else {
+            self.misses.incr();
+        }
+    }
+
+    /// Records a hit.
+    #[inline]
+    pub fn hit(&mut self) {
+        self.hits.incr();
+    }
+
+    /// Records a miss.
+    #[inline]
+    pub fn miss(&mut self) {
+        self.misses.incr();
+    }
+
+    /// Total hits so far.
+    pub fn hits(self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Total misses so far.
+    pub fn misses(self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Total accesses (hits + misses).
+    pub fn accesses(self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Hits / accesses, or 0.0 with no accesses.
+    pub fn hit_rate(self) -> f64 {
+        self.hits.fraction_of(self.accesses())
+    }
+
+    /// Misses / accesses, or 0.0 with no accesses.
+    pub fn miss_rate(self) -> f64 {
+        self.misses.fraction_of(self.accesses())
+    }
+
+    /// Merges another pair into this one.
+    pub fn merge(&mut self, other: HitMiss) {
+        self.hits.merge(other.hits);
+        self.misses.merge(other.misses);
+    }
+}
+
+impl fmt::Display for HitMiss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.2}% miss)",
+            self.hits(),
+            self.misses(),
+            self.miss_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c += 9;
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn fraction_of_zero_total_is_zero() {
+        assert_eq!(Counter::new().fraction_of(0), 0.0);
+        let mut c = Counter::new();
+        c.add(3);
+        assert_eq!(c.fraction_of(0), 0.0);
+        assert_eq!(c.fraction_of(6), 0.5);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = Counter::new();
+        a.add(2);
+        let mut b = Counter::new();
+        b.add(5);
+        a.merge(b);
+        assert_eq!(a.get(), 7);
+    }
+
+    #[test]
+    fn hit_miss_rates_are_complementary() {
+        let mut hm = HitMiss::new();
+        for i in 0..100 {
+            hm.record(i % 4 != 0);
+        }
+        assert_eq!(hm.accesses(), 100);
+        assert!((hm.hit_rate() + hm.miss_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(hm.misses(), 25);
+    }
+
+    #[test]
+    fn empty_hit_miss_has_zero_rates() {
+        let hm = HitMiss::new();
+        assert_eq!(hm.hit_rate(), 0.0);
+        assert_eq!(hm.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_miss_merge() {
+        let mut a = HitMiss::new();
+        a.hit();
+        a.miss();
+        let mut b = HitMiss::new();
+        b.hit();
+        a.merge(b);
+        assert_eq!(a.hits(), 2);
+        assert_eq!(a.misses(), 1);
+    }
+
+    #[test]
+    fn display_mentions_miss_percentage() {
+        let mut hm = HitMiss::new();
+        hm.hit();
+        hm.miss();
+        assert!(hm.to_string().contains("50.00% miss"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Measurement infrastructure for the NOCSTAR simulator.
+//!
+//! Every experiment in the paper is a reduction over event streams the
+//! simulator produces; this crate holds the reducers:
+//!
+//! * [`counter`] — monotonically increasing event counters and hit/miss pairs.
+//! * [`histogram`] — bucketed distributions, including the paper's
+//!   concurrent-access bins (1, 2–4, 5–8, …, 29+) used by Figs 5 and 6.
+//! * [`concurrency`] — the outstanding-access tracker that feeds those bins.
+//! * [`latency`] — min/mean/max latency recorders for messages and lookups.
+//! * [`summary`] — min/avg/max and geometric-mean reductions over run results.
+//! * [`table`] — plain-text table rendering used by the bench harness to
+//!   print each figure's rows.
+//!
+//! # Examples
+//!
+//! ```
+//! use nocstar_stats::counter::HitMiss;
+//!
+//! let mut l2 = HitMiss::default();
+//! l2.record(true);
+//! l2.record(false);
+//! l2.record(true);
+//! assert_eq!(l2.hit_rate(), 2.0 / 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concurrency;
+pub mod counter;
+pub mod histogram;
+pub mod latency;
+pub mod summary;
+pub mod table;
+
+pub use concurrency::OutstandingTracker;
+pub use counter::{Counter, HitMiss};
+pub use histogram::{ConcurrencyBins, Histogram};
+pub use latency::LatencyRecorder;
+pub use summary::Summary;
+pub use table::Table;

@@ -1,0 +1,97 @@
+//! Mapping virtual pages to shared-L2-TLB slices and banks.
+//!
+//! Paper §III-A: "we use a simple indexing mechanism using bits from the
+//! virtual address" — the low-order bits of the virtual page number select
+//! the home slice, so consecutive virtual pages stripe round-robin across
+//! slices, spreading load.
+
+use nocstar_types::{BankId, SliceId, VirtPageNum};
+
+/// The home slice of a virtual page in an `num_slices`-slice distributed
+/// shared L2 TLB.
+///
+/// # Panics
+///
+/// Panics if `num_slices` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use nocstar_tlb::indexing::slice_for;
+/// use nocstar_types::{PageSize, VirtPageNum};
+///
+/// let vpn = VirtPageNum::new(37, PageSize::Size4K);
+/// assert_eq!(slice_for(vpn, 32).index(), 5);
+/// ```
+pub fn slice_for(vpn: VirtPageNum, num_slices: usize) -> SliceId {
+    assert!(num_slices > 0, "need at least one slice");
+    SliceId::new((vpn.number() % num_slices as u64) as usize)
+}
+
+/// The home bank of a virtual page in a `num_banks`-bank monolithic shared
+/// L2 TLB.
+///
+/// # Panics
+///
+/// Panics if `num_banks` is zero.
+pub fn bank_for(vpn: VirtPageNum, num_banks: usize) -> BankId {
+    assert!(num_banks > 0, "need at least one bank");
+    BankId::new((vpn.number() % num_banks as u64) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nocstar_types::PageSize;
+    use proptest::prelude::*;
+
+    fn v4k(n: u64) -> VirtPageNum {
+        VirtPageNum::new(n, PageSize::Size4K)
+    }
+
+    #[test]
+    fn consecutive_pages_stripe_across_slices() {
+        let slices: Vec<usize> = (0..8).map(|n| slice_for(v4k(n), 4).index()).collect();
+        assert_eq!(slices, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_slice_gets_everything() {
+        for n in [0u64, 1, 99, u64::MAX] {
+            assert_eq!(slice_for(v4k(n), 1).index(), 0);
+        }
+    }
+
+    #[test]
+    fn superpages_index_by_their_own_frame_number() {
+        let v2m = VirtPageNum::new(5, PageSize::Size2M);
+        assert_eq!(slice_for(v2m, 4).index(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_slices_rejected() {
+        let _ = slice_for(v4k(0), 0);
+    }
+
+    proptest! {
+        /// Indexing is total and in range, and uniform strides of
+        /// co-prime-to-slice-count step visit all slices.
+        #[test]
+        fn prop_slice_in_range(n in any::<u64>(), slices in 1usize..512) {
+            prop_assert!(slice_for(v4k(n), slices).index() < slices);
+            prop_assert!(bank_for(v4k(n), slices).index() < slices);
+        }
+
+        /// A long run of consecutive pages is perfectly balanced.
+        #[test]
+        fn prop_sequential_pages_are_balanced(start in 0u64..1_000_000, slices in 1usize..64) {
+            let mut counts = vec![0u64; slices];
+            let pages = (slices * 10) as u64;
+            for n in start..start + pages {
+                counts[slice_for(v4k(n), slices).index()] += 1;
+            }
+            prop_assert!(counts.iter().all(|&c| c == 10));
+        }
+    }
+}

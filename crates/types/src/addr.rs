@@ -1,0 +1,349 @@
+//! Virtual/physical addresses, page numbers and page sizes.
+//!
+//! Addresses are 64-bit. Page numbers are always paired with a
+//! [`PageSize`]: a [`VirtPageNum`] produced with [`PageSize::Size2M`] counts
+//! 2 MiB-aligned frames, not 4 KiB ones. Mixing page sizes is therefore a
+//! type-visible operation (`vpn.page_size()`), which mirrors how the
+//! hardware keeps separate TLB arrays per page size.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Page size supported by the simulated x86-64-style MMU.
+///
+/// # Examples
+///
+/// ```
+/// use nocstar_types::addr::PageSize;
+/// assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+/// assert_eq!(PageSize::Size4K.shift(), 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PageSize {
+    /// 4 KiB base page.
+    Size4K,
+    /// 2 MiB superpage (leaf at the page-directory level).
+    Size2M,
+    /// 1 GiB superpage (leaf at the PDPT level).
+    Size1G,
+}
+
+impl PageSize {
+    /// All supported page sizes, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G];
+
+    /// The log2 of the page size in bytes.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        1 << self.shift()
+    }
+
+    /// Number of 4 KiB base pages this page covers.
+    ///
+    /// ```
+    /// use nocstar_types::addr::PageSize;
+    /// assert_eq!(PageSize::Size2M.base_pages(), 512);
+    /// ```
+    #[inline]
+    pub const fn base_pages(self) -> u64 {
+        1 << (self.shift() - 12)
+    }
+
+    /// Number of radix page-table levels walked to reach a leaf of this size
+    /// in a 4-level x86-64-style table (PML4 → PDPT → PD → PT).
+    #[inline]
+    pub const fn walk_levels(self) -> usize {
+        match self {
+            PageSize::Size4K => 4,
+            PageSize::Size2M => 3,
+            PageSize::Size1G => 2,
+        }
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Size4K => write!(f, "4K"),
+            PageSize::Size2M => write!(f, "2M"),
+            PageSize::Size1G => write!(f, "1G"),
+        }
+    }
+}
+
+macro_rules! addr_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw 64-bit address.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw 64-bit address value.
+            #[inline]
+            pub const fn value(self) -> u64 {
+                self.0
+            }
+
+            /// The offset of this address within a page of the given size.
+            #[inline]
+            pub const fn page_offset(self, size: PageSize) -> u64 {
+                self.0 & (size.bytes() - 1)
+            }
+
+            /// Returns this address advanced by `bytes`.
+            #[inline]
+            pub const fn offset(self, bytes: u64) -> Self {
+                Self(self.0.wrapping_add(bytes))
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(addr: $name) -> u64 {
+                addr.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_newtype! {
+    /// A virtual (pre-translation) byte address.
+    ///
+    /// ```
+    /// use nocstar_types::addr::{PageSize, VirtAddr};
+    /// let va = VirtAddr::new(0x2001);
+    /// assert_eq!(va.page_offset(PageSize::Size4K), 1);
+    /// ```
+    VirtAddr
+}
+
+addr_newtype! {
+    /// A physical (post-translation) byte address.
+    ///
+    /// ```
+    /// use nocstar_types::addr::PhysAddr;
+    /// assert_eq!(PhysAddr::new(0x1000).offset(0x10).value(), 0x1010);
+    /// ```
+    PhysAddr
+}
+
+impl VirtAddr {
+    /// The virtual page number containing this address at the given size.
+    #[inline]
+    pub const fn page_number(self, size: PageSize) -> VirtPageNum {
+        VirtPageNum::new(self.0 >> size.shift(), size)
+    }
+}
+
+impl PhysAddr {
+    /// The physical page number containing this address at the given size.
+    #[inline]
+    pub const fn page_number(self, size: PageSize) -> PhysPageNum {
+        PhysPageNum::new(self.0 >> size.shift(), size)
+    }
+}
+
+macro_rules! page_num_newtype {
+    ($(#[$meta:meta])* $name:ident, $addr:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name {
+            number: u64,
+            size: PageSize,
+        }
+
+        impl $name {
+            /// Builds a page number from a raw frame index and page size.
+            #[inline]
+            pub const fn new(number: u64, size: PageSize) -> Self {
+                Self { number, size }
+            }
+
+            /// The frame index (address >> page shift).
+            #[inline]
+            pub const fn number(self) -> u64 {
+                self.number
+            }
+
+            /// The page size this number is counted in.
+            #[inline]
+            pub const fn page_size(self) -> PageSize {
+                self.size
+            }
+
+            /// The first byte address of this page.
+            #[inline]
+            pub const fn base(self) -> $addr {
+                $addr::new(self.number << self.size.shift())
+            }
+
+            /// Re-expresses this page number in units of 4 KiB base pages.
+            ///
+            /// A 2 MiB page at frame 1 starts at base-page frame 512.
+            #[inline]
+            pub const fn to_base_pages(self) -> u64 {
+                self.number << (self.size.shift() - 12)
+            }
+
+            /// Returns the page `delta` frames after this one (same size).
+            /// `delta` may be negative.
+            #[inline]
+            pub const fn stride(self, delta: i64) -> Self {
+                Self {
+                    number: self.number.wrapping_add(delta as u64),
+                    size: self.size,
+                }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}#{:#x}", self.size, self.number)
+            }
+        }
+    };
+}
+
+page_num_newtype! {
+    /// A virtual page number, tagged with its page size.
+    ///
+    /// ```
+    /// use nocstar_types::addr::{PageSize, VirtAddr};
+    /// let vpn = VirtAddr::new(0x40_0000).page_number(PageSize::Size2M);
+    /// assert_eq!(vpn.number(), 2);
+    /// assert_eq!(vpn.to_base_pages(), 1024);
+    /// ```
+    VirtPageNum, VirtAddr
+}
+
+page_num_newtype! {
+    /// A physical page (frame) number, tagged with its page size.
+    ///
+    /// ```
+    /// use nocstar_types::addr::{PageSize, PhysPageNum};
+    /// let ppn = PhysPageNum::new(3, PageSize::Size4K);
+    /// assert_eq!(ppn.base().value(), 0x3000);
+    /// ```
+    PhysPageNum, PhysAddr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn page_size_constants_are_consistent() {
+        for size in PageSize::ALL {
+            assert_eq!(size.bytes(), 1u64 << size.shift());
+            assert_eq!(size.base_pages() * PageSize::Size4K.bytes(), size.bytes());
+        }
+    }
+
+    #[test]
+    fn walk_levels_match_x86_64() {
+        assert_eq!(PageSize::Size4K.walk_levels(), 4);
+        assert_eq!(PageSize::Size2M.walk_levels(), 3);
+        assert_eq!(PageSize::Size1G.walk_levels(), 2);
+    }
+
+    #[test]
+    fn page_number_and_offset_partition_an_address() {
+        let va = VirtAddr::new(0xdead_beef);
+        for size in PageSize::ALL {
+            let reconstructed = va.page_number(size).base().value() + va.page_offset(size);
+            assert_eq!(reconstructed, va.value());
+        }
+    }
+
+    #[test]
+    fn stride_moves_by_whole_pages() {
+        let vpn = VirtAddr::new(0x10_0000).page_number(PageSize::Size4K);
+        assert_eq!(vpn.stride(1).base().value(), 0x10_1000);
+        assert_eq!(vpn.stride(-1).base().value(), 0xff000);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty_and_hex() {
+        assert_eq!(format!("{}", VirtAddr::new(0x1000)), "0x1000");
+        assert_eq!(format!("{:x}", PhysAddr::new(255)), "ff");
+        assert_eq!(
+            format!("{}", VirtPageNum::new(5, PageSize::Size2M)),
+            "2M#0x5"
+        );
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let raw = 0x1234_5678_9abcu64;
+        assert_eq!(u64::from(VirtAddr::from(raw)), raw);
+        assert_eq!(u64::from(PhysAddr::from(raw)), raw);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_page_decomposition_round_trips(raw in any::<u64>()) {
+            for size in PageSize::ALL {
+                let va = VirtAddr::new(raw);
+                let back = va.page_number(size).base().value()
+                    .wrapping_add(va.page_offset(size));
+                prop_assert_eq!(back, raw);
+            }
+        }
+
+        #[test]
+        fn prop_base_pages_orders_like_addresses(a in any::<u32>(), b in any::<u32>()) {
+            let pa = VirtPageNum::new(a as u64, PageSize::Size2M);
+            let pb = VirtPageNum::new(b as u64, PageSize::Size2M);
+            prop_assert_eq!(
+                pa.to_base_pages() <= pb.to_base_pages(),
+                a <= b
+            );
+        }
+    }
+}

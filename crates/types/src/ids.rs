@@ -1,0 +1,181 @@
+//! Newtype identifiers for the hardware structures in the simulated chip.
+//!
+//! Each id wraps a dense `usize` index, so they double as array indices in
+//! the simulator, while keeping a `CoreId` from being accidentally used
+//! where a `SliceId` is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Wraps a dense index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// The dense index, suitable for indexing per-unit arrays.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+
+            /// Iterator over the first `count` ids: `0..count`.
+            pub fn all(count: usize) -> impl Iterator<Item = Self> + Clone {
+                (0..count).map(Self::new)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype! {
+    /// A core (equivalently, a tile: every core sits on one mesh tile).
+    ///
+    /// ```
+    /// use nocstar_types::ids::CoreId;
+    /// let ids: Vec<_> = CoreId::all(3).collect();
+    /// assert_eq!(ids[2].index(), 2);
+    /// assert_eq!(ids[2].to_string(), "core2");
+    /// ```
+    CoreId, "core"
+}
+
+id_newtype! {
+    /// A distributed shared-L2-TLB slice. In the distributed and NOCSTAR
+    /// organizations there is one slice per core, co-located with it.
+    SliceId, "slice"
+}
+
+id_newtype! {
+    /// A bank of the monolithic shared L2 TLB.
+    BankId, "bank"
+}
+
+id_newtype! {
+    /// A hardware (SMT) thread context running on some core.
+    ThreadId, "thread"
+}
+
+/// An address-space identifier (context id), stored alongside each TLB entry
+/// so translations from different processes never alias (paper §III-A).
+///
+/// ```
+/// use nocstar_types::ids::Asid;
+/// assert_ne!(Asid::KERNEL, Asid::new(1));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Asid(u16);
+
+impl Asid {
+    /// The address space shared by kernel mappings.
+    pub const KERNEL: Asid = Asid(0);
+
+    /// Wraps a raw ASID value.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        Self(raw)
+    }
+
+    /// The raw ASID value.
+    #[inline]
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asid{}", self.0)
+    }
+}
+
+impl From<u16> for Asid {
+    fn from(raw: u16) -> Self {
+        Self(raw)
+    }
+}
+
+/// `SliceId`s mirror `CoreId`s in per-core-slice organizations; conversions
+/// make that co-location explicit at call sites.
+impl From<CoreId> for SliceId {
+    fn from(core: CoreId) -> Self {
+        SliceId::new(core.index())
+    }
+}
+
+/// The core a per-core slice is co-located with.
+impl From<SliceId> for CoreId {
+    fn from(slice: SliceId) -> Self {
+        CoreId::new(slice.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_usize() {
+        let core = CoreId::from(7usize);
+        assert_eq!(usize::from(core), 7);
+        assert_eq!(core.index(), 7);
+    }
+
+    #[test]
+    fn all_enumerates_densely() {
+        let slices: Vec<SliceId> = SliceId::all(4).collect();
+        assert_eq!(slices.len(), 4);
+        assert!(slices.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn display_includes_kind_and_index() {
+        assert_eq!(CoreId::new(3).to_string(), "core3");
+        assert_eq!(BankId::new(0).to_string(), "bank0");
+        assert_eq!(ThreadId::new(12).to_string(), "thread12");
+        assert_eq!(Asid::new(9).to_string(), "asid9");
+    }
+
+    #[test]
+    fn slice_core_colocation_conversions() {
+        let core = CoreId::new(5);
+        let slice = SliceId::from(core);
+        assert_eq!(slice.index(), 5);
+        assert_eq!(CoreId::from(slice), core);
+    }
+
+    #[test]
+    fn kernel_asid_is_zero() {
+        assert_eq!(Asid::KERNEL.value(), 0);
+        assert_eq!(Asid::default(), Asid::KERNEL);
+    }
+}

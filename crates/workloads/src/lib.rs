@@ -1,0 +1,52 @@
+//! Synthetic workload generation for the NOCSTAR simulator.
+//!
+//! The paper evaluates on PARSEC and CloudSuite applications scaled to 2 TB
+//! footprints. Those traces are not available here, so this crate provides
+//! seeded synthetic address-stream generators — one preset per paper
+//! workload — whose knobs (footprint, hot-set size and weight, inter-thread
+//! sharing, superpage backing, memory-op density) are calibrated so the
+//! TLB-visible behaviour lands where the paper reports it: private-L2-TLB
+//! miss rates of 5–18 % and shared-TLB miss elimination of 70–90 %
+//! (see `EXPERIMENTS.md` for measured values).
+//!
+//! * [`trace`] — the event stream model ([`TraceEvent`], [`TraceSource`]).
+//! * [`zipf`] — an O(1) bounded Zipf sampler (power-law workloads).
+//! * [`spec`] — the tunable workload description ([`WorkloadSpec`]).
+//! * [`generator`] — [`SyntheticTrace`], the spec interpreter.
+//! * [`preset`] — the 11 paper workloads.
+//! * [`recorded`] — trace capture/replay (and a JSON interchange format
+//!   for externally produced traces).
+//! * [`microbench`] — the TLB-storm and slice-hammer stress tests (§V).
+//! * [`multiprog`] — the 330 four-app multiprogrammed mixes (Fig 18).
+//!
+//! # Examples
+//!
+//! ```
+//! use nocstar_workloads::preset::Preset;
+//! use nocstar_workloads::trace::{TraceEvent, TraceSource};
+//! use nocstar_types::{Asid, ThreadId};
+//!
+//! let spec = Preset::Gups.spec();
+//! let mut trace = spec.trace(Asid::new(1), ThreadId::new(0), 42, true);
+//! match trace.next_event() {
+//!     TraceEvent::Access(a) => assert!(a.gap.value() > 0),
+//!     other => panic!("first event should be an access, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod microbench;
+pub mod multiprog;
+pub mod preset;
+pub mod recorded;
+pub mod spec;
+pub mod trace;
+pub mod zipf;
+
+pub use generator::SyntheticTrace;
+pub use preset::Preset;
+pub use spec::WorkloadSpec;
+pub use trace::{MemAccess, TraceEvent, TraceSource};

@@ -1,0 +1,272 @@
+//! The paper's two pathological stress microbenchmarks (§V).
+//!
+//! * [`StormTrace`] — the **TLB storm**: a workload runs while the OS
+//!   context-switches aggressively (every switch flushes all non-global
+//!   TLB contents) and a co-runner continuously allocates 4 KiB pages,
+//!   promotes them to 2 MiB superpages, and breaks them apart again —
+//!   each promotion invalidating 512 distinct L2 TLB entries.
+//! * [`SliceHammerTrace`] — the **TLB slice** stress: N−1 threads all
+//!   access pages whose low VPN bits index a single victim slice, creating
+//!   maximal per-slice congestion.
+
+use crate::generator::SyntheticTrace;
+use crate::trace::{MemAccess, TraceEvent, TraceSource};
+use nocstar_types::time::Cycles;
+use nocstar_types::{Asid, PageSize, ThreadId, VirtAddr, VirtPageNum};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Wraps a workload trace with context-switch flushes and
+/// promote/demote invalidation storms.
+///
+/// Every `ctx_switch_interval` events the thread suffers a context switch;
+/// every `churn_interval` events the co-running microbenchmark promotes a
+/// fresh 2 MiB region (and demotes the previous one), generating the
+/// paper's "massive number of TLB misses and invalidations".
+#[derive(Debug, Clone)]
+pub struct StormTrace {
+    inner: SyntheticTrace,
+    ctx_switch_interval: u64,
+    churn_interval: u64,
+    events: u64,
+    churn_cursor: u64,
+    pending: Vec<TraceEvent>,
+}
+
+impl StormTrace {
+    /// Base of the 2 MiB regions the churn microbenchmark cycles through
+    /// (inside the shared region's address space but beyond workload pages).
+    const CHURN_BASE: u64 = 0x80_0000_0000;
+
+    /// Builds a storm around `inner`.
+    ///
+    /// The paper context-switches every 0.5 ms (10⁶ cycles at 2 GHz); with
+    /// memory ops every ~10 cycles that is roughly one switch per 10⁵
+    /// events. Tests and quick runs use smaller intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either interval is zero.
+    pub fn new(inner: SyntheticTrace, ctx_switch_interval: u64, churn_interval: u64) -> Self {
+        assert!(
+            ctx_switch_interval > 0 && churn_interval > 0,
+            "storm intervals must be nonzero"
+        );
+        Self {
+            inner,
+            ctx_switch_interval,
+            churn_interval,
+            events: 0,
+            churn_cursor: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    fn churn_region(&self, index: u64) -> VirtPageNum {
+        VirtAddr::new(Self::CHURN_BASE + index * (2 << 20)).page_number(PageSize::Size2M)
+    }
+}
+
+impl TraceSource for StormTrace {
+    fn next_event(&mut self) -> TraceEvent {
+        if let Some(event) = self.pending.pop() {
+            return event;
+        }
+        self.events += 1;
+        if self.events.is_multiple_of(self.ctx_switch_interval) {
+            return TraceEvent::ContextSwitch;
+        }
+        if self.events.is_multiple_of(self.churn_interval) {
+            // Promote a fresh region now; demote it next churn so the
+            // promote/demote cycle continuously invalidates translations.
+            let promote = self.churn_region(self.churn_cursor);
+            if self.churn_cursor > 0 {
+                self.pending
+                    .push(TraceEvent::Demote(self.churn_region(self.churn_cursor - 1)));
+            }
+            self.churn_cursor += 1;
+            return TraceEvent::Promote(promote);
+        }
+        self.inner.next_event()
+    }
+
+    fn backing(&self, va: VirtAddr) -> PageSize {
+        if va.value() >= Self::CHURN_BASE {
+            // Churn pages start life as 4 KiB allocations.
+            PageSize::Size4K
+        } else {
+            self.inner.backing(va)
+        }
+    }
+
+    fn asid(&self) -> Asid {
+        self.inner.asid()
+    }
+}
+
+/// N−1 threads hammering the L2 TLB slice of one victim core.
+///
+/// Pages are chosen so `vpn % num_slices == victim_slice`, defeating the
+/// low-bit slice striping on purpose.
+#[derive(Debug, Clone)]
+pub struct SliceHammerTrace {
+    asid: Asid,
+    victim_slice: usize,
+    num_slices: usize,
+    pages: u64,
+    gap: u64,
+    rng: SmallRng,
+}
+
+impl SliceHammerTrace {
+    const BASE: u64 = 0x20_0000_0000;
+
+    /// Builds the hammer for one attacking thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_slices` is zero, `victim_slice` is out of range, or
+    /// `pages` is zero.
+    pub fn new(
+        asid: Asid,
+        thread: ThreadId,
+        victim_slice: usize,
+        num_slices: usize,
+        pages: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(num_slices > 0, "need at least one slice");
+        assert!(victim_slice < num_slices, "victim slice out of range");
+        assert!(pages > 0, "need at least one page to hammer");
+        Self {
+            asid,
+            victim_slice,
+            num_slices,
+            pages,
+            gap: 6,
+            rng: SmallRng::seed_from_u64(seed ^ (thread.index() as u64) << 32),
+        }
+    }
+
+    /// The `k`-th page this trace can touch — always homed on the victim.
+    pub fn page(&self, k: u64) -> VirtPageNum {
+        let base_page = Self::BASE >> 12;
+        // base_page is slice-0 aligned (BASE is a multiple of 4096*slices
+        // for any power-of-two slice count; correct generally below).
+        let aligned = base_page - (base_page % self.num_slices as u64);
+        VirtPageNum::new(
+            aligned + self.victim_slice as u64 + k * self.num_slices as u64,
+            PageSize::Size4K,
+        )
+    }
+}
+
+impl TraceSource for SliceHammerTrace {
+    fn next_event(&mut self) -> TraceEvent {
+        let k = self.rng.gen_range(0..self.pages);
+        let offset = u64::from(self.rng.gen::<u16>()) & 0xff8;
+        TraceEvent::Access(MemAccess {
+            va: VirtAddr::new(self.page(k).base().value() + offset),
+            is_write: false,
+            gap: Cycles::new(self.gap),
+        })
+    }
+
+    fn backing(&self, _va: VirtAddr) -> PageSize {
+        PageSize::Size4K
+    }
+
+    fn asid(&self) -> Asid {
+        self.asid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preset::Preset;
+
+    fn storm(ctx: u64, churn: u64) -> StormTrace {
+        let inner = Preset::Canneal
+            .spec()
+            .trace(Asid::new(1), ThreadId::new(0), 4, true);
+        StormTrace::new(inner, ctx, churn)
+    }
+
+    #[test]
+    fn context_switches_appear_on_schedule() {
+        let mut t = storm(10, 1_000_000);
+        let mut switches = 0;
+        for _ in 0..100 {
+            if matches!(t.next_event(), TraceEvent::ContextSwitch) {
+                switches += 1;
+            }
+        }
+        assert_eq!(switches, 10);
+    }
+
+    #[test]
+    fn churn_promotes_then_demotes_previous_region() {
+        let mut t = storm(1_000_000, 5);
+        let mut promotes = Vec::new();
+        let mut demotes = Vec::new();
+        for _ in 0..40 {
+            match t.next_event() {
+                TraceEvent::Promote(v) => promotes.push(v),
+                TraceEvent::Demote(v) => demotes.push(v),
+                _ => {}
+            }
+        }
+        assert!(promotes.len() >= 3);
+        // Each demote targets the previously promoted region.
+        for (d, p) in demotes.iter().zip(&promotes) {
+            assert_eq!(d, p);
+        }
+        // Promoted regions are distinct 2M pages.
+        assert_ne!(promotes[0], promotes[1]);
+        assert_eq!(promotes[0].page_size(), PageSize::Size2M);
+    }
+
+    #[test]
+    fn storm_churn_addresses_start_as_base_pages() {
+        let t = storm(100, 100);
+        let churn_va = VirtAddr::new(StormTrace::CHURN_BASE + 0x1234);
+        assert_eq!(t.backing(churn_va), PageSize::Size4K);
+    }
+
+    #[test]
+    fn hammer_pages_all_map_to_the_victim_slice() {
+        let t = SliceHammerTrace::new(Asid::new(2), ThreadId::new(3), 5, 32, 100, 9);
+        for k in 0..100 {
+            assert_eq!(t.page(k).number() % 32, 5);
+        }
+    }
+
+    #[test]
+    fn hammer_emits_accesses_to_victim_pages_only() {
+        let mut t = SliceHammerTrace::new(Asid::new(2), ThreadId::new(0), 7, 16, 50, 1);
+        for _ in 0..200 {
+            match t.next_event() {
+                TraceEvent::Access(a) => {
+                    let vpn = a.va.page_number(PageSize::Size4K);
+                    assert_eq!(vpn.number() % 16, 7);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hammer_works_with_non_power_of_two_slices() {
+        let t = SliceHammerTrace::new(Asid::new(2), ThreadId::new(0), 2, 12, 10, 1);
+        for k in 0..10 {
+            assert_eq!(t.page(k).number() % 12, 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_victim_rejected() {
+        let _ = SliceHammerTrace::new(Asid::new(1), ThreadId::new(0), 32, 32, 10, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Recording and replaying traces.
+//!
+//! The synthetic generators are deterministic, but third-party users of
+//! the simulator often want to (a) capture a trace once and re-run it
+//! against many configurations without regenerating it, or (b) feed the
+//! simulator a trace produced by an external tool (e.g. a Pin/DynamoRIO
+//! memory trace converted to this format). [`RecordedTrace`] is that
+//! bridge: a serializable event list plus the page-size backing decisions,
+//! replayable as a [`TraceSource`].
+
+use crate::trace::{TraceEvent, TraceSource};
+use nocstar_types::{Asid, PageSize, VirtAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A finite captured trace, replayed in a loop.
+///
+/// # Examples
+///
+/// ```
+/// use nocstar_workloads::preset::Preset;
+/// use nocstar_workloads::recorded::RecordedTrace;
+/// use nocstar_workloads::trace::TraceSource;
+/// use nocstar_types::{Asid, ThreadId};
+///
+/// let mut live = Preset::Redis.spec().trace(Asid::new(1), ThreadId::new(0), 7, true);
+/// let recorded = RecordedTrace::capture(&mut live, 100);
+/// let mut replay = recorded.clone();
+/// // Replays the captured events verbatim (and loops past the end).
+/// for _ in 0..250 {
+///     replay.next_event();
+/// }
+/// assert_eq!(replay.asid(), Asid::new(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedTrace {
+    asid: Asid,
+    events: Vec<TraceEvent>,
+    /// Page-size backing per 2 MiB-aligned virtual frame (addresses not
+    /// listed default to 4 KiB).
+    superpage_frames: HashMap<u64, ()>,
+    #[serde(skip)]
+    cursor: usize,
+}
+
+impl RecordedTrace {
+    /// Captures the next `count` events from a live source, along with the
+    /// backing decisions for every address they touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn capture(source: &mut dyn TraceSource, count: usize) -> Self {
+        assert!(count > 0, "cannot capture an empty trace");
+        let mut events = Vec::with_capacity(count);
+        let mut superpage_frames = HashMap::new();
+        for _ in 0..count {
+            let event = source.next_event();
+            let touched: Option<VirtAddr> = match &event {
+                TraceEvent::Access(a) => Some(a.va),
+                TraceEvent::Remap(vpn) | TraceEvent::Promote(vpn) | TraceEvent::Demote(vpn) => {
+                    Some(vpn.base())
+                }
+                TraceEvent::ContextSwitch => None,
+            };
+            if let Some(va) = touched {
+                if source.backing(va) == PageSize::Size2M {
+                    superpage_frames.insert(va.value() >> 21, ());
+                }
+            }
+            events.push(event);
+        }
+        Self {
+            asid: source.asid(),
+            events,
+            superpage_frames,
+            cursor: 0,
+        }
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was captured (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The captured events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Serializes to JSON (the interchange format for external traces).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serializer error (I/O-free; effectively
+    /// infallible for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error if the JSON does not match the trace schema.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl TraceSource for RecordedTrace {
+    fn next_event(&mut self) -> TraceEvent {
+        let event = self.events[self.cursor];
+        self.cursor = (self.cursor + 1) % self.events.len();
+        event
+    }
+
+    fn backing(&self, va: VirtAddr) -> PageSize {
+        if self.superpage_frames.contains_key(&(va.value() >> 21)) {
+            PageSize::Size2M
+        } else {
+            PageSize::Size4K
+        }
+    }
+
+    fn asid(&self) -> Asid {
+        self.asid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preset::Preset;
+    use nocstar_types::ThreadId;
+
+    fn live() -> impl TraceSource {
+        Preset::Canneal
+            .spec()
+            .trace(Asid::new(3), ThreadId::new(1), 99, true)
+    }
+
+    #[test]
+    fn capture_preserves_events_and_asid() {
+        let mut a = live();
+        let mut b = live();
+        let recorded = RecordedTrace::capture(&mut a, 200);
+        assert_eq!(recorded.len(), 200);
+        assert_eq!(recorded.asid(), Asid::new(3));
+        let mut replay = recorded.clone();
+        for _ in 0..200 {
+            assert_eq!(replay.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn replay_loops_past_the_end() {
+        let mut a = live();
+        let recorded = RecordedTrace::capture(&mut a, 10);
+        let mut replay = recorded.clone();
+        let first: Vec<TraceEvent> = (0..10).map(|_| replay.next_event()).collect();
+        let second: Vec<TraceEvent> = (0..10).map(|_| replay.next_event()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn backing_is_preserved_for_touched_superpages() {
+        let mut a = live();
+        let recorded = RecordedTrace::capture(&mut a, 2_000);
+        let mut b = live();
+        let check = RecordedTrace::capture(&mut b, 2_000);
+        let mut superpages = 0;
+        for event in check.events() {
+            if let TraceEvent::Access(acc) = event {
+                let expected = live().backing(acc.va);
+                assert_eq!(recorded.backing(acc.va), expected);
+                if expected == PageSize::Size2M {
+                    superpages += 1;
+                }
+            }
+        }
+        assert!(superpages > 0, "test needs some superpage accesses");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut a = live();
+        let recorded = RecordedTrace::capture(&mut a, 50);
+        let json = recorded.to_json().unwrap();
+        let back = RecordedTrace::from_json(&json).unwrap();
+        assert_eq!(back, recorded);
+    }
+
+    #[test]
+    fn recorded_traces_drive_a_simulation() {
+        // The replayed trace must be usable wherever a live one is.
+        let mut a = live();
+        let recorded = RecordedTrace::capture(&mut a, 500);
+        let boxed: Box<dyn TraceSource> = Box::new(recorded);
+        let mut source = boxed;
+        for _ in 0..100 {
+            source.next_event();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn zero_capture_rejected() {
+        let mut a = live();
+        let _ = RecordedTrace::capture(&mut a, 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Capacity study: how much of the private-L2-TLB miss traffic a shared
+//! last-level TLB absorbs as the chip scales (the paper's Fig 2 question),
+//! and what that does to page-walk counts.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example capacity_study [workload] [accesses]
+//! ```
+
+use nocstar::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let preset = args
+        .next()
+        .and_then(|n| Preset::ALL.iter().copied().find(|p| p.name() == n))
+        .unwrap_or(Preset::Canneal);
+    let accesses: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(15_000);
+    let warmup = accesses / 2;
+
+    println!("workload: {preset}, measured accesses/thread: {accesses}\n");
+    let mut table = Table::new([
+        "cores",
+        "private L2 miss %",
+        "shared L2 miss %",
+        "misses eliminated %",
+        "walks (private)",
+        "walks (shared)",
+        "walks to LLC/DRAM %",
+    ]);
+    for cores in [8usize, 16, 32, 64] {
+        let run = |org: TlbOrg| {
+            let config = SystemConfig::new(cores, org);
+            let workload = WorkloadAssignment::preset(&config, preset);
+            Simulation::new(config, workload).run_measured(warmup, accesses)
+        };
+        let private = run(TlbOrg::paper_private());
+        let shared = run(TlbOrg::paper_ideal());
+        table.row([
+            cores.to_string(),
+            format!("{:.1}", private.l2.miss_rate() * 100.0),
+            format!("{:.1}", shared.l2.miss_rate() * 100.0),
+            format!("{:.0}", shared.misses_eliminated_vs(&private)),
+            private.walks.to_string(),
+            shared.walks.to_string(),
+            format!("{:.0}", private.walk_llc_fraction() * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!("The shared TLB dedups the hot set and pools capacity, so the");
+    println!("eliminated-miss fraction grows with core count (paper Fig 2).");
+}

@@ -1,0 +1,63 @@
+//! Multiprogrammed mixes: run one 4-application combination (8 threads
+//! each, own address spaces) on a 32-core chip across the TLB
+//! organizations, reporting overall throughput and the worst-off
+//! application — the Fig 18 experiment for a single mix.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example multiprogram [mix-index 0..329] [accesses]
+//! ```
+
+use nocstar::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let index: usize = args.next().and_then(|i| i.parse().ok()).unwrap_or(0);
+    let accesses: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8_000);
+    let mixes = all_mixes();
+    let mix = mixes[index % mixes.len()];
+    println!("mix #{index}: {mix}\n");
+
+    let cores = 32;
+    let run = |org: TlbOrg| {
+        let config = SystemConfig::new(cores, org);
+        let workload = WorkloadAssignment::mix(&config, mix);
+        Simulation::new(config, workload).run_measured(accesses / 2, accesses)
+    };
+    let baseline = run(TlbOrg::paper_private());
+    let base_apps = baseline.app_finish_times(Mix::THREADS_PER_APP);
+
+    let mut table = Table::new([
+        "organization",
+        "throughput speedup",
+        "min app speedup",
+        "per-app speedups",
+    ]);
+    for org in [
+        TlbOrg::paper_monolithic(cores),
+        TlbOrg::paper_distributed(),
+        TlbOrg::paper_nocstar(),
+    ] {
+        let r = run(org);
+        let apps = r.app_finish_times(Mix::THREADS_PER_APP);
+        let per_app: Vec<f64> = base_apps
+            .iter()
+            .zip(&apps)
+            .map(|(&b, &a)| b as f64 / a.max(1) as f64)
+            .collect();
+        let min = per_app.iter().copied().fold(f64::INFINITY, f64::min);
+        table.row([
+            r.org_label.clone(),
+            format!("{:.3}", r.throughput() / baseline.throughput()),
+            format!("{min:.3}"),
+            per_app
+                .iter()
+                .zip(mix.apps.iter())
+                .map(|(s, p)| format!("{p}:{s:.2}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+    }
+    println!("{table}");
+}

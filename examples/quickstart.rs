@@ -1,0 +1,75 @@
+//! Quickstart: compare the four L2 TLB organizations of the paper on one
+//! workload and print their speedups over private L2 TLBs.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload] [cores] [accesses]
+//! ```
+//!
+//! e.g. `cargo run --release --example quickstart gups 16 20000`.
+
+use nocstar::prelude::*;
+
+fn parse_preset(name: &str) -> Option<Preset> {
+    Preset::ALL.iter().copied().find(|p| p.name() == name)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let preset = args
+        .next()
+        .map(|n| parse_preset(&n).unwrap_or_else(|| die(&n)))
+        .unwrap_or(Preset::Gups);
+    let cores: usize = args.next().and_then(|c| c.parse().ok()).unwrap_or(16);
+    let accesses: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10_000);
+
+    println!("workload: {preset}, cores: {cores}, accesses/thread: {accesses}\n");
+
+    let run = |org: TlbOrg| -> SimReport {
+        let config = SystemConfig::new(cores, org);
+        let workload = WorkloadAssignment::preset(&config, preset);
+        Simulation::new(config, workload).run(accesses)
+    };
+
+    let baseline = run(TlbOrg::paper_private());
+    println!("baseline (private L2 TLBs):\n{baseline}\n");
+
+    let mut table = Table::new([
+        "organization",
+        "cycles",
+        "speedup",
+        "L2 miss %",
+        "mean xlat",
+    ]);
+    for org in [
+        TlbOrg::paper_private(),
+        TlbOrg::paper_monolithic(cores),
+        TlbOrg::paper_distributed(),
+        TlbOrg::paper_nocstar(),
+        TlbOrg::paper_ideal(),
+    ] {
+        let report = if org == TlbOrg::paper_private() {
+            baseline.clone()
+        } else {
+            run(org)
+        };
+        table.row([
+            report.org_label.clone(),
+            report.cycles.to_string(),
+            format!("{:.3}", report.speedup_vs(&baseline)),
+            format!("{:.1}", report.l2.miss_rate() * 100.0),
+            format!("{:.1}", report.translation_latency.mean()),
+        ]);
+    }
+    println!("{table}");
+    println!("(mean xlat = average L1-miss translation latency in cycles)");
+}
+
+fn die(name: &str) -> ! {
+    eprintln!("unknown workload '{name}'. Available:");
+    for p in Preset::ALL {
+        eprintln!("  {p}");
+    }
+    std::process::exit(2);
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: full simulations spanning workloads,
+//! TLBs, page tables, caches and all three interconnects.
+
+use nocstar::prelude::*;
+
+fn run(cores: usize, org: TlbOrg, preset: Preset, accesses: u64) -> SimReport {
+    let config = SystemConfig::new(cores, org);
+    let workload = WorkloadAssignment::preset(&config, preset);
+    Simulation::new(config, workload).run(accesses)
+}
+
+#[test]
+fn all_organizations_complete_identical_work() {
+    for org in [
+        TlbOrg::paper_private(),
+        TlbOrg::paper_monolithic(8),
+        TlbOrg::paper_distributed(),
+        TlbOrg::paper_nocstar(),
+        TlbOrg::paper_ideal(),
+    ] {
+        let r = run(8, org, Preset::Redis, 800);
+        assert_eq!(r.accesses, 8 * 800, "{}", r.org_label);
+        assert!(r.cycles > 0);
+        assert!(r.l1.accesses() > 0);
+    }
+}
+
+#[test]
+fn simulations_are_reproducible() {
+    let a = run(8, TlbOrg::paper_nocstar(), Preset::Gups, 600);
+    let b = run(8, TlbOrg::paper_nocstar(), Preset::Gups, 600);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.walks, b.walks);
+    assert_eq!(a.l2.hits(), b.l2.hits());
+    assert_eq!(a.energy.total_pj(), b.energy.total_pj());
+}
+
+#[test]
+fn warmup_reduces_measured_cold_misses() {
+    let config = SystemConfig::new(4, TlbOrg::paper_private());
+    let cold =
+        Simulation::new(config, WorkloadAssignment::preset(&config, Preset::Olio)).run(3_000);
+    let warm = Simulation::new(config, WorkloadAssignment::preset(&config, Preset::Olio))
+        .run_measured(3_000, 3_000);
+    assert!(
+        warm.l2.miss_rate() < cold.l2.miss_rate(),
+        "warm {} >= cold {}",
+        warm.l2.miss_rate(),
+        cold.l2.miss_rate()
+    );
+    assert_eq!(warm.accesses, cold.accesses);
+}
+
+#[test]
+fn shared_capacity_eliminates_private_misses_at_scale() {
+    let private = {
+        let config = SystemConfig::new(16, TlbOrg::paper_private());
+        Simulation::new(config, WorkloadAssignment::preset(&config, Preset::Redis))
+            .run_measured(4_000, 6_000)
+    };
+    let shared = {
+        let config = SystemConfig::new(16, TlbOrg::paper_ideal());
+        Simulation::new(config, WorkloadAssignment::preset(&config, Preset::Redis))
+            .run_measured(4_000, 6_000)
+    };
+    let eliminated = shared.misses_eliminated_vs(&private);
+    assert!(eliminated > 30.0, "only {eliminated:.0}% eliminated");
+}
+
+#[test]
+fn organization_ordering_matches_the_paper() {
+    // monolithic < private <= nocstar <= ideal on runtime speedup.
+    let accesses = 5_000;
+    let warm = 3_000;
+    let go = |org: TlbOrg| {
+        let config = SystemConfig::new(16, org);
+        Simulation::new(config, WorkloadAssignment::preset(&config, Preset::Canneal))
+            .run_measured(warm, accesses)
+    };
+    let private = go(TlbOrg::paper_private());
+    let mono = go(TlbOrg::paper_monolithic(16));
+    let nocstar = go(TlbOrg::paper_nocstar());
+    let ideal = go(TlbOrg::paper_ideal());
+    assert!(
+        mono.cycles > private.cycles,
+        "monolithic should lose to private"
+    );
+    assert!(
+        nocstar.cycles < private.cycles,
+        "nocstar should beat private"
+    );
+    assert!(
+        ideal.cycles <= nocstar.cycles * 101 / 100,
+        "ideal bounds nocstar"
+    );
+}
+
+#[test]
+fn network_traffic_exists_only_when_it_should() {
+    let nocstar = run(8, TlbOrg::paper_nocstar(), Preset::Canneal, 500);
+    let stats = nocstar.network.expect("nocstar has a fabric");
+    assert!(stats.delivered > 0);
+    assert!(run(8, TlbOrg::paper_private(), Preset::Canneal, 500)
+        .network
+        .is_none());
+}
+
+#[test]
+fn smt_increases_tlb_pressure() {
+    let single = run(8, TlbOrg::paper_private(), Preset::Redis, 1_000);
+    let mut config = SystemConfig::new(8, TlbOrg::paper_private());
+    config.smt = 2;
+    let smt =
+        Simulation::new(config, WorkloadAssignment::preset(&config, Preset::Redis)).run(1_000);
+    assert_eq!(smt.accesses, 2 * single.accesses);
+    // Twice the threads contend for the same per-core TLBs: absolute L2
+    // TLB traffic must grow.
+    assert!(
+        smt.l2.accesses() > single.l2.accesses(),
+        "SMT should raise L2 TLB pressure: {} vs {}",
+        smt.l2.accesses(),
+        single.l2.accesses()
+    );
+}
+
+#[test]
+fn walk_llc_fraction_lands_in_papers_band() {
+    // Paper: 70-87% of baseline walks prompt LLC/memory lookups.
+    let r = {
+        let config = SystemConfig::new(16, TlbOrg::paper_private());
+        Simulation::new(config, WorkloadAssignment::preset(&config, Preset::Canneal))
+            .run_measured(4_000, 6_000)
+    };
+    let f = r.walk_llc_fraction();
+    assert!((0.5..=1.0).contains(&f), "walk LLC fraction {f}");
+}

@@ -1,0 +1,107 @@
+//! Property-style invariants over randomized small system configurations:
+//! whatever the organization, policies and workload, a simulation must
+//! complete its exact work quota, conserve its transaction accounting, and
+//! stay deterministic.
+
+use nocstar::prelude::*;
+use proptest::prelude::*;
+
+fn arb_org() -> impl Strategy<Value = TlbOrg> {
+    prop_oneof![
+        Just(TlbOrg::paper_private()),
+        Just(TlbOrg::paper_distributed()),
+        Just(TlbOrg::paper_nocstar()),
+        Just(TlbOrg::paper_ideal()),
+        Just(TlbOrg::paper_monolithic(8)),
+        Just(TlbOrg::Nocstar {
+            slice_entries: 920,
+            hpc_max: 4,
+            acquire: AcquireMode::RoundTrip,
+            ideal_fabric: false,
+        }),
+    ]
+}
+
+fn arb_preset() -> impl Strategy<Value = Preset> {
+    prop::sample::select(Preset::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every configuration completes exactly the requested work, with
+    /// consistent transaction accounting.
+    #[test]
+    fn prop_simulations_complete_and_balance(
+        org in arb_org(),
+        preset in arb_preset(),
+        seed in 0u64..1000,
+        smt in 1usize..=2,
+        walk_remote in any::<bool>(),
+    ) {
+        let mut config = SystemConfig::new(8, org);
+        config.seed = seed;
+        config.smt = smt;
+        config.walk_policy = if walk_remote {
+            WalkPolicy::AtRemote
+        } else {
+            WalkPolicy::AtRequester
+        };
+        let workload = WorkloadAssignment::preset(&config, preset);
+        let report = Simulation::new(config, workload).run(400);
+
+        prop_assert_eq!(report.accesses, 400 * config.threads() as u64);
+        // Every L1 miss became exactly one L2 transaction, tracked once.
+        prop_assert_eq!(report.chip_concurrency.total(), report.l1.misses());
+        prop_assert_eq!(report.chip_concurrency.total(), report.slice_concurrency.total());
+        // Walks only happen on L2 misses.
+        prop_assert_eq!(report.walks, report.l2.misses());
+        // Per-thread finishes bound the makespan.
+        let max_finish = *report.per_thread_finish.iter().max().unwrap();
+        prop_assert_eq!(max_finish, report.cycles);
+        // Work takes at least gap * accesses cycles per thread.
+        prop_assert!(report.cycles > 400);
+        // Energy is positive and finite.
+        prop_assert!(report.energy.total_pj() > 0.0);
+        prop_assert!(report.energy.total_pj().is_finite());
+    }
+
+    /// Identical configurations are bit-for-bit reproducible.
+    #[test]
+    fn prop_determinism(org in arb_org(), seed in 0u64..50) {
+        let go = || {
+            let mut config = SystemConfig::new(4, org);
+            config.seed = seed;
+            let workload = WorkloadAssignment::preset(&config, Preset::Olio);
+            Simulation::new(config, workload).run(300)
+        };
+        let a = go();
+        let b = go();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.per_thread_finish, b.per_thread_finish);
+        prop_assert_eq!(a.walks, b.walks);
+        prop_assert_eq!(a.l2.hits(), b.l2.hits());
+    }
+
+    /// Changing only the seed changes the trace but not the accounting
+    /// invariants.
+    #[test]
+    fn prop_seed_changes_trace_not_invariants(seed in 1u64..500) {
+        let mut config = SystemConfig::new(4, TlbOrg::paper_nocstar());
+        config.seed = seed;
+        let workload = WorkloadAssignment::preset(&config, Preset::Gups);
+        let report = Simulation::new(config, workload).run(300);
+        prop_assert_eq!(report.accesses, 1200);
+        prop_assert_eq!(report.walks, report.l2.misses());
+    }
+}
+
+#[test]
+fn warmup_and_plain_runs_agree_on_work_accounting() {
+    let config = SystemConfig::new(4, TlbOrg::paper_nocstar());
+    let warm = Simulation::new(config, WorkloadAssignment::preset(&config, Preset::Redis))
+        .run_measured(500, 700);
+    assert_eq!(warm.accesses, 4 * 700);
+    assert_eq!(warm.per_thread_finish.len(), 4);
+    assert_eq!(warm.cycles, *warm.per_thread_finish.iter().max().unwrap());
+}

@@ -1,0 +1,133 @@
+//! Integration tests for OS-driven TLB events: shootdowns, superpage
+//! promotion/demotion storms, context switches, and the functional
+//! correctness of translations across remaps.
+
+use nocstar::mem::{MemoryConfig, MemorySystem};
+use nocstar::prelude::*;
+use nocstar::workloads::microbench::StormTrace;
+use nocstar::workloads::trace::{TraceEvent, TraceSource};
+
+#[test]
+fn remap_changes_the_translation_functionally() {
+    let mut mem = MemorySystem::new(MemoryConfig::haswell(1));
+    let asid = Asid::new(1);
+    let va = VirtAddr::new(0x1234_5678);
+    mem.ensure_mapped(asid, va, PageSize::Size4K);
+    let before = mem.translate(asid, va).unwrap().1;
+    let vpn = va.page_number(PageSize::Size4K);
+    let after = mem.remap(asid, vpn).unwrap();
+    assert_ne!(before, after);
+    assert_eq!(mem.translate(asid, va).unwrap().1, after);
+}
+
+#[test]
+fn shootdown_heavy_workloads_complete_on_every_shared_org() {
+    for org in [
+        TlbOrg::paper_monolithic(8),
+        TlbOrg::paper_distributed(),
+        TlbOrg::paper_nocstar(),
+    ] {
+        let config = SystemConfig::new(8, org);
+        let mut spec = Preset::Redis.spec();
+        spec.remaps_per_million = 5_000.0;
+        let workload = WorkloadAssignment::homogeneous(&config, spec);
+        let r = Simulation::new(config, workload).run(1_500);
+        assert!(r.shootdowns > 0, "{}: no shootdowns happened", r.org_label);
+        assert_eq!(r.accesses, 8 * 1_500);
+    }
+}
+
+#[test]
+fn leader_policies_all_drain_shootdowns() {
+    for leader in [
+        LeaderPolicy::EveryCore,
+        LeaderPolicy::PerGroup(4),
+        LeaderPolicy::Single,
+    ] {
+        let mut config = SystemConfig::new(8, TlbOrg::paper_nocstar());
+        config.leader_policy = leader;
+        let mut spec = Preset::Gups.spec();
+        spec.remaps_per_million = 5_000.0;
+        let workload = WorkloadAssignment::homogeneous(&config, spec);
+        let r = Simulation::new(config, workload).run(1_500);
+        assert!(r.shootdowns > 0);
+    }
+}
+
+#[test]
+fn storm_workloads_flush_and_invalidate() {
+    let config = SystemConfig::new(8, TlbOrg::paper_nocstar());
+    let workload = WorkloadAssignment::storm(&config, Preset::Canneal, 500, 700);
+    let r = Simulation::new(config, workload).run(2_000);
+    assert!(r.flushes > 0, "storms must context-switch");
+    assert!(
+        r.shootdowns > 500,
+        "superpage churn should shoot down hundreds of pages, saw {}",
+        r.shootdowns
+    );
+    assert_eq!(r.accesses, 8 * 2_000);
+}
+
+#[test]
+fn storms_hurt_every_organization() {
+    // The storm must slow things down relative to running alone (Fig 19's
+    // alone vs w/ub gap), whatever the organization.
+    for org in [TlbOrg::paper_private(), TlbOrg::paper_nocstar()] {
+        let config = SystemConfig::new(8, org);
+        let alone = Simulation::new(config, WorkloadAssignment::preset(&config, Preset::Canneal))
+            .run(2_000);
+        let stormy = Simulation::new(
+            config,
+            WorkloadAssignment::storm(&config, Preset::Canneal, 500, 700),
+        )
+        .run(2_000);
+        assert!(
+            stormy.cycles > alone.cycles,
+            "{}: storm {} <= alone {}",
+            alone.org_label,
+            stormy.cycles,
+            alone.cycles
+        );
+    }
+}
+
+#[test]
+fn storm_trace_promotions_map_then_invalidate() {
+    // Run the storm trace's OS events through a real memory system: every
+    // Promote must produce 512 stale pages and leave a live 2 MiB mapping.
+    let spec = Preset::Gups.spec();
+    let inner = spec.trace(Asid::new(1), ThreadId::new(0), 3, true);
+    let mut storm = StormTrace::new(inner, 10_000, 50);
+    let mut mem = MemorySystem::new(MemoryConfig::haswell(1));
+    let mut promotes = 0;
+    for _ in 0..300 {
+        if let TraceEvent::Promote(v2m) = storm.next_event() {
+            for i in 0..v2m.page_size().base_pages() {
+                let va = VirtAddr::new(v2m.base().value() + i * 4096);
+                mem.ensure_mapped(Asid::new(1), va, PageSize::Size4K);
+            }
+            let stale = mem.promote(Asid::new(1), v2m).expect("promotable");
+            assert_eq!(stale.len(), 512);
+            assert!(mem.translate(Asid::new(1), v2m.base()).is_some());
+            promotes += 1;
+        }
+    }
+    assert!(promotes >= 4, "only {promotes} promotions seen");
+}
+
+#[test]
+fn slice_hammer_congests_the_victim_slice() {
+    let config = SystemConfig::new(8, TlbOrg::paper_nocstar());
+    let workload = WorkloadAssignment::slice_hammer(&config, Preset::Canneal, 512);
+    let r = Simulation::new(config, workload).run(2_000);
+    // The victim slice (last) must see far more traffic than the average
+    // of the others.
+    let victim = r.per_structure.last().unwrap().accesses();
+    let others: u64 = r.per_structure[..7].iter().map(|s| s.accesses()).sum();
+    assert!(
+        victim > others,
+        "victim {} vs all others {}",
+        victim,
+        others
+    );
+}
