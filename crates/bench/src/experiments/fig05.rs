@@ -27,8 +27,7 @@ pub fn run(effort: Effort) {
         let mut spec = preset.spec();
         spec.mem_op_gap *= GAP_SCALE;
         let workload = WorkloadAssignment::homogeneous(&config, spec);
-        let report =
-            Simulation::new(config, workload).run_measured(effort.warmup, effort.accesses);
+        let report = Simulation::new(config, workload).run_measured(effort.warmup, effort.accesses);
         (preset, report.chip_concurrency.clone())
     });
 

@@ -13,8 +13,91 @@
 pub mod experiments;
 
 use nocstar::prelude::*;
+use nocstar_json::Json;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// Ring-buffer capacity used for `--trace` runs: enough for the tail of a
+/// quick run without bloating the emitted JSON.
+const TRACE_CAPACITY: usize = 4096;
+
+/// Observability settings shared by every experiment binary, resolved once
+/// from the process arguments and environment:
+///
+/// * `--metrics-json <path>` (or `NOCSTAR_METRICS_JSON=<path>`) — enable
+///   the simulator's metrics registry and write the collected per-run
+///   reports to `<path>` as JSON, in addition to the per-experiment
+///   `<name>.metrics.json` files next to the CSVs.
+/// * `NOCSTAR_METRICS=1` — enable collection with per-experiment files
+///   only (what `run_all` users typically want).
+/// * `--trace` (or `NOCSTAR_TRACE=1`) — additionally record a bounded
+///   cycle-level event trace per run into the same JSON.
+#[derive(Debug, Clone, Default)]
+pub struct Observability {
+    /// Explicit output path from `--metrics-json`, if any.
+    pub metrics_json: Option<PathBuf>,
+    /// Whether metrics collection is on at all.
+    pub metrics: bool,
+    /// Whether cycle-level tracing is on.
+    pub trace: bool,
+}
+
+impl Observability {
+    fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut metrics_json = args
+            .iter()
+            .position(|a| a == "--metrics-json")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from);
+        if metrics_json.is_none() {
+            metrics_json = std::env::var("NOCSTAR_METRICS_JSON")
+                .ok()
+                .map(PathBuf::from);
+        }
+        let trace = args.iter().any(|a| a == "--trace")
+            || std::env::var("NOCSTAR_TRACE").is_ok_and(|v| v != "0");
+        let metrics = metrics_json.is_some()
+            || trace
+            || std::env::var("NOCSTAR_METRICS").is_ok_and(|v| v != "0");
+        Self {
+            metrics_json,
+            metrics,
+            trace,
+        }
+    }
+}
+
+/// The process-wide observability settings (first use resolves them).
+pub fn observability() -> &'static Observability {
+    static OBS: OnceLock<Observability> = OnceLock::new();
+    OBS.get_or_init(Observability::from_env)
+}
+
+/// Reports collected since the last [`emit`], serialized eagerly so the
+/// collector owns no simulator state.
+static COLLECTED: Mutex<Vec<Json>> = Mutex::new(Vec::new());
+
+/// Records one finished run's full JSON report for the next [`emit`].
+/// No-op unless metrics collection is enabled.
+pub fn collect_report(report: &SimReport) {
+    if observability().metrics {
+        COLLECTED.lock().expect("poisoned").push(report.to_json());
+    }
+}
+
+/// Drains the collected reports, sorted by serialized form so the output
+/// is independent of worker-thread completion order.
+fn drain_collected() -> Vec<(String, Json)> {
+    let mut drained: Vec<(String, Json)> = COLLECTED
+        .lock()
+        .expect("poisoned")
+        .drain(..)
+        .map(|j| (j.to_string(), j))
+        .collect();
+    drained.sort_by(|a, b| a.0.cmp(&b.0));
+    drained
+}
 
 /// Run-length and sweep-size settings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,14 +134,39 @@ impl Effort {
     ) -> SimReport {
         let mut config = SystemConfig::new(cores, org);
         tweak(&mut config);
+        let obs = observability();
+        if obs.metrics {
+            config.metrics = true;
+        }
+        if obs.trace {
+            config.trace_capacity = TRACE_CAPACITY;
+        }
         let workload = WorkloadAssignment::preset(&config, preset);
-        Simulation::new(config, workload).run_measured(self.warmup, self.accesses)
+        let report = Simulation::new(config, workload).run_measured(self.warmup, self.accesses);
+        collect_report(&report);
+        report
     }
 
     /// [`run_with`](Self::run_with) without tweaks.
     pub fn run(&self, cores: usize, org: TlbOrg, preset: Preset) -> SimReport {
         self.run_with(cores, org, preset, |_| {})
     }
+}
+
+/// The worker-pool width for [`parallel_map`]: `NOCSTAR_WORKERS` when set
+/// (the determinism suite pins it to prove results are schedule-independent),
+/// otherwise the available parallelism, always clamped to the item count.
+pub fn worker_threads(n_items: usize) -> usize {
+    std::env::var("NOCSTAR_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .min(n_items.max(1))
 }
 
 /// Maps `f` over `items` on a pool of worker threads (simulations are
@@ -70,15 +178,12 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
+    let threads = worker_threads(items.len());
     let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;
@@ -87,8 +192,7 @@ where
                 *results[i].lock().expect("poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_iter()
         .map(|m| m.into_inner().expect("poisoned").expect("worker filled"))
@@ -106,13 +210,31 @@ pub fn out_dir() -> PathBuf {
 }
 
 /// Prints a table under a heading and saves it as CSV in
-/// [`out_dir`]`/<name>.csv`.
+/// [`out_dir`]`/<name>.csv`. When metrics collection is on, the per-run
+/// reports gathered since the previous `emit` are additionally written as
+/// `<name>.metrics.json` next to the CSV (and to the `--metrics-json`
+/// path, when one was given).
 pub fn emit(name: &str, title: &str, table: &Table) {
     println!("== {title} ==\n");
     println!("{table}");
     let path = out_dir().join(format!("{name}.csv"));
     std::fs::write(&path, table.to_csv()).expect("write csv");
     println!("(saved {})\n", path.display());
+    let obs = observability();
+    if obs.metrics {
+        let drained = drain_collected();
+        if !drained.is_empty() {
+            let doc = Json::Arr(drained.into_iter().map(|(_, j)| j).collect());
+            let text = doc.to_string_pretty();
+            let mpath = out_dir().join(format!("{name}.metrics.json"));
+            std::fs::write(&mpath, &text).expect("write metrics json");
+            println!("(saved {})\n", mpath.display());
+            if let Some(explicit) = &obs.metrics_json {
+                std::fs::write(explicit, &text).expect("write metrics json");
+                println!("(saved {})\n", explicit.display());
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,10 +7,9 @@ use nocstar_tlb::prefetch::PrefetchDepth;
 use nocstar_tlb::shootdown::LeaderPolicy;
 use nocstar_types::time::Cycles;
 use nocstar_types::{CoreId, MeshShape};
-use serde::{Deserialize, Serialize};
 
 /// Interconnect used to reach a monolithic shared TLB's banks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MonolithicNet {
     /// Traditional multi-hop mesh (2 cycles per hop).
     Mesh,
@@ -21,7 +20,7 @@ pub enum MonolithicNet {
 }
 
 /// Where page-table walks execute on a shared-slice miss (Fig 17).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WalkPolicy {
     /// The remote slice replies with a miss message; the requesting core
     /// walks, then sends the translation back for insertion. The paper
@@ -34,7 +33,7 @@ pub enum WalkPolicy {
 }
 
 /// The L2 TLB organization under test (paper Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TlbOrg {
     /// Per-core private L2 TLBs — the baseline all speedups are relative to.
     Private {
@@ -153,7 +152,7 @@ impl TlbOrg {
 }
 
 /// Everything that defines a simulated system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// Core (tile) count.
     pub cores: usize,
@@ -175,6 +174,15 @@ pub struct SystemConfig {
     pub thp: bool,
     /// Workload/trace seed.
     pub seed: u64,
+    /// Collect the detailed metrics registry (per-slice occupancy and
+    /// queue waits, per-link utilization, arbitration counts, walk
+    /// histograms, per-core stall breakdowns). Off by default: disabled
+    /// metrics cost one predicted branch per update and never allocate.
+    pub metrics: bool,
+    /// Ring-buffer capacity for cycle-level event tracing; `0` (the
+    /// default) disables tracing entirely. When full, the oldest records
+    /// are overwritten and counted as dropped.
+    pub trace_capacity: usize,
 }
 
 impl SystemConfig {
@@ -193,6 +201,8 @@ impl SystemConfig {
             leader_policy: LeaderPolicy::EveryCore,
             thp: true,
             seed: 0xcafe,
+            metrics: false,
+            trace_capacity: 0,
         }
     }
 

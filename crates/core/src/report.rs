@@ -1,16 +1,19 @@
 //! Simulation results.
 
 use nocstar_energy::account::EnergyAccount;
+use nocstar_json::Json;
 use nocstar_noc::NocStats;
 use nocstar_stats::counter::HitMiss;
 use nocstar_stats::histogram::ConcurrencyBins;
 use nocstar_stats::latency::LatencyRecorder;
+use nocstar_stats::metrics::{MetricValue, MetricsSnapshot};
 use nocstar_stats::summary;
-use serde::{Deserialize, Serialize};
+use nocstar_stats::tracing::TraceRecord;
+use nocstar_stats::Log2Histogram;
 use std::fmt;
 
 /// Everything measured by one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Workload label.
     pub label: String,
@@ -53,6 +56,13 @@ pub struct SimReport {
     pub network: Option<NocStats>,
     /// Address-translation energy account.
     pub energy: EnergyAccount,
+    /// Detailed metrics snapshot (empty unless `SystemConfig::metrics`).
+    pub metrics: MetricsSnapshot,
+    /// Retained trace records, oldest first (empty unless
+    /// `SystemConfig::trace_capacity` is nonzero).
+    pub trace: Vec<TraceRecord>,
+    /// Trace records overwritten because the ring buffer was full.
+    pub trace_dropped: u64,
 }
 
 impl SimReport {
@@ -112,6 +122,161 @@ impl SimReport {
             self.walks_llc_or_mem as f64 / self.walks as f64
         }
     }
+
+    /// Serializes the full report as JSON. Output is deterministic: object
+    /// keys keep insertion order, metric samples are name-sorted, and trace
+    /// records appear oldest-first — equal runs produce byte-identical
+    /// text, which the golden-report and determinism tests rely on.
+    pub fn to_json(&self) -> Json {
+        let per_structure = Json::Arr(self.per_structure.iter().map(hitmiss_json).collect());
+        let metrics = Json::Obj(
+            self.metrics
+                .samples()
+                .iter()
+                .map(|s| (s.name.clone(), metric_json(&s.value)))
+                .collect(),
+        );
+        let trace = Json::Arr(self.trace.iter().map(trace_json).collect());
+        let network = match &self.network {
+            Some(n) => network_json(n, self.cycles),
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            ("label", Json::str(self.label.as_str())),
+            ("org", Json::str(self.org_label.as_str())),
+            ("cores", Json::U64(self.cores as u64)),
+            ("cycles", Json::U64(self.cycles)),
+            ("accesses", Json::U64(self.accesses)),
+            (
+                "per_thread_finish",
+                Json::Arr(
+                    self.per_thread_finish
+                        .iter()
+                        .map(|&f| Json::U64(f))
+                        .collect(),
+                ),
+            ),
+            ("l1", hitmiss_json(&self.l1)),
+            ("l2", hitmiss_json(&self.l2)),
+            ("per_structure", per_structure),
+            ("l2_occupancy", Json::U64(self.l2_occupancy as u64)),
+            ("walks", Json::U64(self.walks)),
+            ("walks_llc_or_mem", Json::U64(self.walks_llc_or_mem)),
+            ("shootdowns", Json::U64(self.shootdowns)),
+            ("flushes", Json::U64(self.flushes)),
+            ("chip_concurrency", concurrency_json(&self.chip_concurrency)),
+            (
+                "slice_concurrency",
+                concurrency_json(&self.slice_concurrency),
+            ),
+            (
+                "translation_latency",
+                latency_json(&self.translation_latency),
+            ),
+            ("network", network),
+            ("energy", energy_json(&self.energy)),
+            ("metrics", metrics),
+            ("trace", trace),
+            ("trace_dropped", Json::U64(self.trace_dropped)),
+        ])
+    }
+}
+
+fn hitmiss_json(h: &HitMiss) -> Json {
+    Json::obj(vec![
+        ("hits", Json::U64(h.hits())),
+        ("misses", Json::U64(h.misses())),
+    ])
+}
+
+fn latency_json(l: &LatencyRecorder) -> Json {
+    Json::obj(vec![
+        ("count", Json::U64(l.count())),
+        ("min", Json::U64(l.min().value())),
+        ("mean", Json::F64(l.mean())),
+        ("max", Json::U64(l.max().value())),
+    ])
+}
+
+/// Log2 histograms serialize sparsely: `[bucket_index, count]` pairs for
+/// the nonzero buckets only (bucket 0 holds zero-valued samples; bucket
+/// `k` holds samples in `[2^(k-1), 2^k)`).
+fn histogram_json(h: &Log2Histogram) -> Json {
+    let buckets = h
+        .buckets()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| Json::Arr(vec![Json::U64(i as u64), Json::U64(c)]))
+        .collect();
+    Json::obj(vec![
+        ("count", Json::U64(h.count())),
+        ("sum", Json::U64(h.sum())),
+        ("buckets", Json::Arr(buckets)),
+    ])
+}
+
+fn metric_json(v: &MetricValue) -> Json {
+    match v {
+        MetricValue::Counter(c) => Json::obj(vec![("counter", Json::U64(*c))]),
+        MetricValue::Gauge(g) => Json::obj(vec![("gauge", Json::U64(*g))]),
+        MetricValue::Histogram(h) => Json::obj(vec![("histogram", histogram_json(h))]),
+    }
+}
+
+fn concurrency_json(c: &ConcurrencyBins) -> Json {
+    Json::obj(vec![
+        ("total", Json::U64(c.total())),
+        (
+            "fractions",
+            Json::Arr(c.fractions().into_iter().map(Json::F64).collect()),
+        ),
+    ])
+}
+
+fn network_json(n: &NocStats, window: u64) -> Json {
+    Json::obj(vec![
+        ("delivered", Json::U64(n.delivered)),
+        ("no_contention", Json::U64(n.no_contention)),
+        ("retries", Json::U64(n.retries)),
+        ("grants", Json::U64(n.grants)),
+        ("rotations", Json::U64(n.rotations)),
+        ("latency", latency_json(&n.latency)),
+        (
+            "link_busy",
+            Json::Arr(n.link_busy.iter().map(|&b| Json::U64(b)).collect()),
+        ),
+        (
+            "link_utilization",
+            Json::Arr(
+                n.link_utilization(window)
+                    .into_iter()
+                    .map(Json::F64)
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn energy_json(e: &EnergyAccount) -> Json {
+    Json::obj(vec![
+        ("l1_tlb_pj", Json::F64(e.l1_tlb_pj)),
+        ("l2_tlb_pj", Json::F64(e.l2_tlb_pj)),
+        ("noc_pj", Json::F64(e.noc_pj)),
+        ("walk_pj", Json::F64(e.walk_pj)),
+        ("static_pj", Json::F64(e.static_pj)),
+        ("total_pj", Json::F64(e.total_pj())),
+    ])
+}
+
+fn trace_json(r: &TraceRecord) -> Json {
+    Json::Arr(vec![
+        Json::U64(r.cycle),
+        Json::U64(r.component as u64),
+        Json::U64(r.kind as u64),
+        Json::U64(r.a),
+        Json::U64(r.b),
+    ])
 }
 
 impl fmt::Display for SimReport {
@@ -166,6 +331,9 @@ mod tests {
             translation_latency: LatencyRecorder::new(),
             network: None,
             energy: EnergyAccount::default(),
+            metrics: MetricsSnapshot::default(),
+            trace: Vec::new(),
+            trace_dropped: 0,
         }
     }
 
@@ -213,5 +381,69 @@ mod tests {
         assert!(text.contains("cycles"));
         assert!(text.contains("walks"));
         assert!(text.contains("energy"));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let r = report(1000, (1, 9), vec![1000, 900]);
+        let json = r.to_json();
+        let text = json.to_string();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        // Numeric types may narrow on parse (0.0 reads back as 0), so the
+        // round-trip invariant is on the serialized text.
+        assert_eq!(parsed.to_string(), text);
+        assert_eq!(parsed.get("cycles").and_then(Json::as_u64), Some(1000));
+        assert_eq!(
+            parsed
+                .get("l2")
+                .and_then(|l| l.get("misses"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        // No network: the key is present but null.
+        assert_eq!(parsed.get("network"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn json_serializes_metrics_and_trace() {
+        let mut r = report(500, (0, 0), vec![500]);
+        let mut reg = nocstar_stats::metrics::MetricsRegistry::enabled();
+        let c = reg.counter("core.0.stall.walk_cycles");
+        reg.add(c, 42);
+        let h = reg.histogram("mem.walk_latency_cycles");
+        reg.observe(h, 9);
+        r.metrics = reg.snapshot();
+        r.trace = vec![TraceRecord {
+            cycle: 7,
+            component: 3,
+            kind: 1,
+            a: 0x1000,
+            b: 0,
+        }];
+        r.trace_dropped = 2;
+        let json = r.to_json();
+        let m = json.get("metrics").expect("metrics object");
+        assert_eq!(
+            m.get("core.0.stall.walk_cycles")
+                .and_then(|v| v.get("counter"))
+                .and_then(Json::as_u64),
+            Some(42)
+        );
+        let hist = m
+            .get("mem.walk_latency_cycles")
+            .and_then(|v| v.get("histogram"))
+            .expect("histogram");
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(1));
+        let trace = json.get("trace").and_then(Json::as_array).expect("trace");
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].as_array().unwrap()[0].as_u64(), Some(7));
+        assert_eq!(json.get("trace_dropped").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn identical_reports_serialize_identically() {
+        let a = report(1000, (5, 5), vec![1000, 800]).to_json().to_string();
+        let b = report(1000, (5, 5), vec![1000, 800]).to_json().to_string();
+        assert_eq!(a, b);
     }
 }

@@ -20,6 +20,8 @@ use nocstar_noc::message::{Delivery, Message, MsgKind};
 use nocstar_noc::smart::SmartNoc;
 use nocstar_stats::counter::Counter;
 use nocstar_stats::latency::LatencyRecorder;
+use nocstar_stats::metrics::{CounterId, MetricsRegistry};
+use nocstar_stats::tracing::{TraceRecord, TraceSink};
 use nocstar_tlb::entry::TlbEntry;
 use nocstar_tlb::l1::L1Tlb;
 use nocstar_tlb::shootdown::Invalidation;
@@ -47,6 +49,29 @@ const DATA_MLP_SHIFT: u32 = 3;
 /// to the paper's Table III sensitivity results.
 const WALK_REPLAY_PENALTY: Cycles = Cycles::new(40);
 
+/// Event-kind ids for the [`TraceRecord`]s the simulation emits when
+/// [`SystemConfig::trace_capacity`] is nonzero. The component id is the
+/// requesting core's index, except for [`trace_kind::SLICE_DONE`], whose
+/// component is [`SLICE_COMPONENT_BASE`] plus the structure index.
+pub mod trace_kind {
+    /// An access missed the L1 TLB and entered the L2 path
+    /// (`a` = virtual address, `b` = hardware-thread index).
+    pub const ISSUE: u16 = 1;
+    /// The home structure's SRAM lookup finished
+    /// (`a` = virtual address, `b` = 1 on a slice hit, 0 on a miss).
+    pub const SLICE_DONE: u16 = 2;
+    /// A page-table walk (plus replay penalty) finished
+    /// (`a` = virtual address, `b` = walk cycles charged).
+    pub const WALK_DONE: u16 = 3;
+    /// The translation reached the requesting core
+    /// (`a` = virtual address, `b` = end-to-end translation cycles).
+    pub const TRANSLATION_DONE: u16 = 4;
+}
+
+/// Trace component ids at or above this value denote L2 TLB structures
+/// (`SLICE_COMPONENT_BASE + structure index`); below it, core indices.
+pub const SLICE_COMPONENT_BASE: u32 = 1 << 16;
+
 #[derive(Debug, Clone, Copy)]
 struct LookupTx {
     thread: usize,
@@ -64,6 +89,12 @@ struct LookupTx {
     walked: bool,
     /// Whether the slice-level concurrency trackers were closed.
     tracker_closed: bool,
+    /// When the home structure's lookup result became available — the
+    /// boundary between slice time and walk/response time in the per-core
+    /// stall breakdown.
+    slice_done_at: Cycle,
+    /// Walk cycles (including the replay penalty) charged to this access.
+    walk_cycles: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +150,16 @@ pub struct Simulation {
     walks_llc_or_mem: Counter,
     shootdowns: Counter,
     flushes: Counter,
+    // Observability (no-ops unless enabled in the config).
+    metrics: MetricsRegistry,
+    trace: TraceSink,
+    /// Per-core cycles spent waiting on the home structure's lookup.
+    stall_slice: Vec<CounterId>,
+    /// Per-core cycles spent waiting on page walks (incl. replay).
+    stall_walk: Vec<CounterId>,
+    /// Per-core cycles spent on everything else (interconnect transit,
+    /// queueing at remote ports).
+    stall_response: Vec<CounterId>,
 }
 
 impl Simulation {
@@ -164,6 +205,25 @@ impl Simulation {
         };
         let label = workload.label().to_string();
         let l1_config = config.l1_config();
+        let mut metrics = if config.metrics {
+            MetricsRegistry::enabled()
+        } else {
+            MetricsRegistry::disabled()
+        };
+        let stall_slice = (0..config.cores)
+            .map(|c| metrics.counter(&format!("core.{c}.stall.slice_cycles")))
+            .collect();
+        let stall_walk = (0..config.cores)
+            .map(|c| metrics.counter(&format!("core.{c}.stall.walk_cycles")))
+            .collect();
+        let stall_response = (0..config.cores)
+            .map(|c| metrics.counter(&format!("core.{c}.stall.response_cycles")))
+            .collect();
+        let trace = if config.trace_capacity > 0 {
+            TraceSink::bounded(config.trace_capacity)
+        } else {
+            TraceSink::disabled()
+        };
         Self {
             mesh,
             mem: MemorySystem::new(MemoryConfig::haswell(config.cores)),
@@ -200,6 +260,11 @@ impl Simulation {
             walks_llc_or_mem: Counter::new(),
             shootdowns: Counter::new(),
             flushes: Counter::new(),
+            metrics,
+            trace,
+            stall_slice,
+            stall_walk,
+            stall_response,
             config,
         }
     }
@@ -386,7 +451,16 @@ impl Simulation {
             entry: None,
             walked: false,
             tracker_closed: false,
+            slice_done_at: self.now,
+            walk_cycles: 0,
         };
+        self.trace.emit(TraceRecord {
+            cycle: self.now.value(),
+            component: core.index() as u32,
+            kind: trace_kind::ISSUE,
+            a: va.value(),
+            b: t as u64,
+        });
         self.org.chip_tracker.begin();
         self.org.trackers[home_idx].begin();
         self.txs.insert(id, TxState::Lookup(lookup));
@@ -423,9 +497,17 @@ impl Simulation {
         // The L2 access itself is over: close the concurrency trackers.
         if !lookup.tracker_closed {
             lookup.tracker_closed = true;
+            lookup.slice_done_at = self.now;
             self.org.chip_tracker.end();
             self.org.trackers[lookup.home_idx].end();
             self.txs.insert(id, TxState::Lookup(lookup));
+            self.trace.emit(TraceRecord {
+                cycle: self.now.value(),
+                component: SLICE_COMPONENT_BASE + lookup.home_idx as u32,
+                kind: trace_kind::SLICE_DONE,
+                a: lookup.va.value(),
+                b: lookup.entry.is_some() as u64,
+            });
         }
         let local = lookup.home_tile == lookup.requester || matches!(self.net, NetworkModel::None);
         match (lookup.entry, local) {
@@ -490,6 +572,7 @@ impl Simulation {
         debug_assert_eq!(result.vpn, lookup.vpn, "walk resolved a different page");
         lookup.entry = Some(TlbEntry::new(lookup.asid, result.vpn, result.ppn));
         lookup.walked = true;
+        lookup.walk_cycles += (done - self.now).value();
         self.txs.insert(id, TxState::Lookup(lookup));
         self.events.push(done, Event::WalkDone(id));
     }
@@ -499,6 +582,13 @@ impl Simulation {
             panic!("walk done for unknown transaction {id}");
         };
         let entry = lookup.entry.expect("walk stored the translation");
+        self.trace.emit(TraceRecord {
+            cycle: self.now.value(),
+            component: lookup.requester.index() as u32,
+            kind: trace_kind::WALK_DONE,
+            a: lookup.va.value(),
+            b: lookup.walk_cycles,
+        });
         self.prefetch_around(lookup.vpn, lookup.asid);
         let local = lookup.home_tile == lookup.requester || matches!(self.net, NetworkModel::None);
         let walked_at_requester = local || self.config.walk_policy == WalkPolicy::AtRequester;
@@ -558,7 +648,23 @@ impl Simulation {
     fn complete_translation(&mut self, lookup: LookupTx) {
         debug_assert!(lookup.tracker_closed, "trackers left open");
         let entry = lookup.entry.expect("translation resolved");
-        self.translation_latency.record(self.now - lookup.issued_at);
+        let total = self.now - lookup.issued_at;
+        self.translation_latency.record(total);
+        let core = lookup.requester.index();
+        let slice_stall = (lookup.slice_done_at - lookup.issued_at).value();
+        let response_stall = total
+            .value()
+            .saturating_sub(slice_stall + lookup.walk_cycles);
+        self.metrics.add(self.stall_slice[core], slice_stall);
+        self.metrics.add(self.stall_walk[core], lookup.walk_cycles);
+        self.metrics.add(self.stall_response[core], response_stall);
+        self.trace.emit(TraceRecord {
+            cycle: self.now.value(),
+            component: core as u32,
+            kind: trace_kind::TRANSLATION_DONE,
+            a: lookup.va.value(),
+            b: total.value(),
+        });
         self.l1s[lookup.requester.index()].insert(entry);
         let pa = entry.translate(lookup.va);
         let data = self.mem.access(lookup.requester, pa, lookup.is_write);
@@ -731,9 +837,55 @@ impl Simulation {
         self.walks_llc_or_mem = Counter::new();
         self.shootdowns = Counter::new();
         self.flushes = Counter::new();
+        self.metrics.reset_values();
+        self.trace.clear();
     }
 
-    fn finish(self) -> SimReport {
+    /// Publishes harvest-time observability into the registry: end-of-run
+    /// slice occupancy and port-wait distributions, interconnect link and
+    /// arbitration totals, and walk histograms. Hot-path counters (per-core
+    /// stall breakdowns) are already in place.
+    fn harvest_metrics(&mut self, window: u64) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        for i in 0..self.org.count() {
+            let occupancy = self.org.structure(i).array().occupancy() as u64;
+            let waits = *self.org.structure(i).queue_wait_histogram();
+            let g = self.metrics.gauge(&format!("l2.{i}.occupancy"));
+            self.metrics.set_gauge(g, occupancy);
+            let h = self.metrics.histogram(&format!("l2.{i}.queue_wait_cycles"));
+            self.metrics.merge_histogram(h, &waits);
+        }
+        let walk_latency = *self.mem.walk_latency_histogram();
+        let h = self.metrics.histogram("mem.walk_latency_cycles");
+        self.metrics.merge_histogram(h, &walk_latency);
+        let pwc_hits = *self.mem.pwc_hits_histogram();
+        let h = self.metrics.histogram("mem.pwc_hits_per_walk");
+        self.metrics.merge_histogram(h, &pwc_hits);
+        if let Some(stats) = self.net.stats().cloned() {
+            for (name, v) in [
+                ("noc.delivered", stats.delivered),
+                ("noc.grants", stats.grants),
+                ("noc.no_contention", stats.no_contention),
+                ("noc.retries", stats.retries),
+                ("noc.rotations", stats.rotations),
+            ] {
+                let c = self.metrics.counter(name);
+                self.metrics.add(c, v);
+            }
+            for (l, &busy) in stats.link_busy.iter().enumerate() {
+                let c = self.metrics.counter(&format!("noc.link.{l}.busy_cycles"));
+                self.metrics.add(c, busy);
+            }
+            // The measurement window, so link utilization is recoverable
+            // as busy_cycles / window.
+            let g = self.metrics.gauge("noc.window_cycles");
+            self.metrics.set_gauge(g, window);
+        }
+    }
+
+    fn finish(mut self) -> SimReport {
         let durations: Vec<u64> = self
             .threads
             .iter()
@@ -741,6 +893,7 @@ impl Simulation {
             .map(|(th, &cross)| (th.finish_time - cross).value())
             .collect();
         let runtime = Cycles::new(durations.iter().copied().max().unwrap_or(0));
+        self.harvest_metrics(runtime.value());
         // The energy account compares *dynamic* address-translation energy
         // (TLB lookups, interconnect messages, page-walk memory accesses),
         // as in McPAT-style studies. Leakage is excluded: total TLB SRAM is
@@ -778,6 +931,9 @@ impl Simulation {
             translation_latency: self.translation_latency,
             network: self.net.stats().cloned(),
             energy: self.energy,
+            metrics: self.metrics.snapshot(),
+            trace: self.trace.records().copied().collect(),
+            trace_dropped: self.trace.dropped(),
         }
     }
 }
@@ -992,6 +1148,85 @@ mod tests {
         let r = Simulation::new(config, workload).run(1_200);
         assert_eq!(r.accesses, 8 * 1_200);
         assert!(r.shootdowns > 0);
+    }
+
+    #[test]
+    fn metrics_do_not_change_simulated_time() {
+        let plain_cfg = SystemConfig::new(4, TlbOrg::paper_nocstar());
+        let mut observed_cfg = plain_cfg;
+        observed_cfg.metrics = true;
+        observed_cfg.trace_capacity = 1024;
+        let run_cfg = |config: SystemConfig| {
+            let w = WorkloadAssignment::preset(&config, Preset::Redis);
+            Simulation::new(config, w).run(400)
+        };
+        let plain = run_cfg(plain_cfg);
+        let observed = run_cfg(observed_cfg);
+        assert_eq!(plain.cycles, observed.cycles);
+        assert_eq!(plain.l2.misses(), observed.l2.misses());
+        assert_eq!(plain.walks, observed.walks);
+        // Off by default; populated when enabled.
+        assert!(plain.metrics.is_empty());
+        assert!(plain.trace.is_empty());
+        assert!(!observed.metrics.is_empty());
+        assert!(!observed.trace.is_empty());
+    }
+
+    #[test]
+    fn enabled_metrics_cover_every_layer() {
+        let mut config = SystemConfig::new(4, TlbOrg::paper_nocstar());
+        config.metrics = true;
+        let w = WorkloadAssignment::preset(&config, Preset::Redis);
+        let r = Simulation::new(config, w).run(500);
+        let m = &r.metrics;
+        // TLB layer: per-slice occupancy and port-wait distribution.
+        assert!(m.gauge("l2.0.occupancy").is_some_and(|o| o > 0));
+        assert!(m.histogram("l2.0.queue_wait_cycles").is_some());
+        // Memory layer: walk latency and PWC hits.
+        assert!(m
+            .histogram("mem.walk_latency_cycles")
+            .is_some_and(|h| h.count() == r.walks));
+        assert!(m.histogram("mem.pwc_hits_per_walk").is_some());
+        // Interconnect layer: arbitration and per-link totals.
+        assert!(m.counter("noc.delivered").is_some_and(|d| d > 0));
+        assert!(m.counter("noc.grants").is_some_and(|g| g > 0));
+        assert!(m.counter("noc.retries").is_some());
+        assert!(m.counter("noc.link.0.busy_cycles").is_some());
+        // Core layer: stall breakdown attributed to cores.
+        let stalled: u64 = (0..4)
+            .map(|c| m.counter(&format!("core.{c}.stall.slice_cycles")).unwrap())
+            .sum();
+        assert!(stalled > 0);
+    }
+
+    #[test]
+    fn trace_records_the_translation_lifecycle() {
+        let mut config = SystemConfig::new(4, TlbOrg::paper_nocstar());
+        config.trace_capacity = 1 << 16;
+        let w = WorkloadAssignment::preset(&config, Preset::Redis);
+        let r = Simulation::new(config, w).run(300);
+        assert!(!r.trace.is_empty());
+        // Records come back oldest-first in simulated-time order.
+        assert!(r.trace.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        let kinds: std::collections::HashSet<u16> = r.trace.iter().map(|t| t.kind).collect();
+        for kind in [
+            trace_kind::ISSUE,
+            trace_kind::SLICE_DONE,
+            trace_kind::WALK_DONE,
+            trace_kind::TRANSLATION_DONE,
+        ] {
+            assert!(kinds.contains(&kind), "missing trace kind {kind}");
+        }
+    }
+
+    #[test]
+    fn tiny_trace_ring_stays_bounded_and_counts_drops() {
+        let mut config = SystemConfig::new(4, TlbOrg::paper_nocstar());
+        config.trace_capacity = 16;
+        let w = WorkloadAssignment::preset(&config, Preset::Redis);
+        let r = Simulation::new(config, w).run(500);
+        assert_eq!(r.trace.len(), 16);
+        assert!(r.trace_dropped > 0);
     }
 
     #[test]

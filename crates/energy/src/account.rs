@@ -3,7 +3,6 @@
 use crate::area::TileCosts;
 use crate::model;
 use nocstar_types::time::Cycles;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Address-translation energy of one run, split by where it was spent.
@@ -26,7 +25,7 @@ use std::fmt;
 /// acct.add_static(Cycles::new(1000), 10.0);
 /// assert!(acct.total_pj() > 5000.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyAccount {
     /// L1 TLB lookups.
     pub l1_tlb_pj: f64,

@@ -6,10 +6,8 @@
 //! headline claim they support — interconnect area under 1 % of the tile's
 //! TLB SRAM — is checked in tests and printed by the Fig 9 bench binary.
 
-use serde::Serialize;
-
 /// Power and area of one tile component.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComponentCost {
     /// Component name as printed in Fig 9.
     pub name: &'static str,
@@ -20,7 +18,7 @@ pub struct ComponentCost {
 }
 
 /// The per-tile cost table of Fig 9.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TileCosts {
     /// The latchless mux switch.
     pub switch: ComponentCost,

@@ -8,7 +8,6 @@
 //! the distributed design's, but its total stays lowest.
 
 use nocstar_tlb::sram;
-use serde::{Deserialize, Serialize};
 
 /// Energy of one hop over a repeated on-chip link, in pJ.
 pub const LINK_PJ_PER_HOP: f64 = 1.5;
@@ -46,7 +45,7 @@ pub const DRAM_PJ: f64 = 20_000.0;
 pub const STATIC_PJ_PER_CYCLE_PER_MW: f64 = 0.5;
 
 /// The NoC + TLB design whose per-message energy is being modelled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NocDesign {
     /// Monolithic banked shared TLB over a multi-hop mesh.
     Monolithic {
@@ -66,7 +65,7 @@ pub enum NocDesign {
 }
 
 /// The four stacked components of Fig 11(b), in pJ.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyBreakdown {
     /// Link wires.
     pub link: f64,

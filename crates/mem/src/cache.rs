@@ -6,13 +6,12 @@
 use nocstar_stats::counter::HitMiss;
 use nocstar_types::time::Cycles;
 use nocstar_types::PhysAddr;
-use serde::{Deserialize, Serialize};
 
 /// Cache line size in bytes (all levels).
 pub const LINE_BYTES: u64 = 64;
 
 /// Geometry and latency of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity: u64,
@@ -71,7 +70,7 @@ impl CacheConfig {
 /// assert!(l1.access(pa, false));  // now hits
 /// assert!(l1.access(PhysAddr::new(0x1020), true)); // same 64B line
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
     num_sets: usize,

@@ -6,14 +6,14 @@ use crate::page_table::PageTable;
 use crate::phys::PhysMemory;
 use crate::pwc::{PteCache, DEFAULT_PWC_ENTRIES};
 use nocstar_stats::counter::HitMiss;
+use nocstar_stats::Log2Histogram;
 use nocstar_types::time::Cycles;
 use nocstar_types::{Asid, CoreId, PageSize, PhysAddr, PhysPageNum, VirtAddr, VirtPageNum};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Which level serviced an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ServicedBy {
     /// Hit in the core's paging-structure cache (upper-level PTEs only).
     Pwc,
@@ -49,7 +49,7 @@ pub struct AccessResult {
 }
 
 /// Memory-system sizing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryConfig {
     /// Number of cores (each gets a private L1D and L2).
     pub cores: usize,
@@ -109,6 +109,10 @@ pub struct MemorySystem {
     phys: PhysMemory,
     tables: HashMap<Asid, PageTable>,
     pwcs: Vec<PteCache>,
+    /// Distribution of completed page-walk latencies (cycles).
+    pub(crate) walk_latency: Log2Histogram,
+    /// Distribution of PWC-serviced PTE reads per walk (0–3).
+    pub(crate) pwc_hits_per_walk: Log2Histogram,
 }
 
 impl MemorySystem {
@@ -129,6 +133,8 @@ impl MemorySystem {
             pwcs: (0..config.cores)
                 .map(|_| PteCache::new(DEFAULT_PWC_ENTRIES))
                 .collect(),
+            walk_latency: Log2Histogram::new(),
+            pwc_hits_per_walk: Log2Histogram::new(),
         }
     }
 
@@ -231,7 +237,7 @@ impl MemorySystem {
         (l1, l2, self.llc.stats())
     }
 
-    /// Clears cache statistics on every level.
+    /// Clears cache statistics on every level, plus the walk histograms.
     pub fn reset_cache_stats(&mut self) {
         for c in &mut self.l1s {
             c.reset_stats();
@@ -240,6 +246,18 @@ impl MemorySystem {
             c.reset_stats();
         }
         self.llc.reset_stats();
+        self.walk_latency = Log2Histogram::new();
+        self.pwc_hits_per_walk = Log2Histogram::new();
+    }
+
+    /// Distribution of completed page-walk latencies.
+    pub fn walk_latency_histogram(&self) -> &Log2Histogram {
+        &self.walk_latency
+    }
+
+    /// Distribution of PWC-serviced PTE reads per walk.
+    pub fn pwc_hits_histogram(&self) -> &Log2Histogram {
+        &self.pwc_hits_per_walk
     }
 
     /// The physical memory allocator (for inspection).

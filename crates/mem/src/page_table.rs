@@ -13,7 +13,6 @@
 
 use crate::phys::PhysMemory;
 use nocstar_types::{PageSize, PhysAddr, PhysPageNum, VirtAddr, VirtPageNum};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 const FANOUT_BITS: u32 = 9;
@@ -22,7 +21,7 @@ const PTE_BYTES: u64 = 8;
 /// Levels of the radix tree (PML4, PDPT, PD, PT).
 pub const LEVELS: usize = 4;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Slot {
     /// Pointer to a lower-level table node.
     Table(usize),
@@ -30,7 +29,7 @@ enum Slot {
     Leaf(PhysPageNum),
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Node {
     frame: PhysPageNum,
     entries: HashMap<u16, Slot>,
@@ -63,7 +62,7 @@ pub struct WalkOutcome {
 /// assert_eq!(walk.pte_addrs.len(), 3); // superpage leaf at the PD level
 /// assert_eq!(walk.mapping.unwrap().0, vpn);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PageTable {
     nodes: Vec<Node>,
     root: usize,

@@ -1,7 +1,6 @@
 //! Physical frame allocation for the simulated machine.
 
 use nocstar_types::{PageSize, PhysPageNum};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A bump allocator over the simulated machine's physical memory.
@@ -23,7 +22,7 @@ use std::fmt;
 /// assert_ne!(a.base(), b.base());
 /// assert_eq!(b.base().value() % PageSize::Size2M.bytes(), 0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PhysMemory {
     capacity: u64,
     next_free: u64,

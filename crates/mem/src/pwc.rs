@@ -11,7 +11,6 @@
 
 use nocstar_stats::counter::HitMiss;
 use nocstar_types::PhysAddr;
-use serde::{Deserialize, Serialize};
 
 /// Default PWC capacity (upper-level PTEs), in line with the few dozen
 /// paging-structure entries documented for recent x86 cores.
@@ -30,7 +29,7 @@ pub const DEFAULT_PWC_ENTRIES: usize = 32;
 /// assert!(!pwc.access(pte)); // cold
 /// assert!(pwc.access(pte));  // cached
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PteCache {
     keys: Vec<u64>,
     stamps: Vec<u64>,

@@ -11,10 +11,9 @@
 use crate::hierarchy::{MemorySystem, ServicedBy};
 use nocstar_types::time::Cycles;
 use nocstar_types::{Asid, CoreId, PhysPageNum, VirtAddr, VirtPageNum};
-use serde::{Deserialize, Serialize};
 
 /// How page-walk latency is charged.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WalkLatency {
     /// Each PTE read travels through the walking core's cache hierarchy
     /// (the paper's realistic default).
@@ -83,7 +82,7 @@ impl MemorySystem {
         let (vpn, ppn) = outcome
             .mapping
             .unwrap_or_else(|| panic!("walk of unmapped address {va} in {asid}"));
-        match policy {
+        let result = match policy {
             WalkLatency::Fixed(latency) => WalkResult {
                 vpn,
                 ppn,
@@ -114,7 +113,15 @@ impl MemorySystem {
                     pte_reads,
                 }
             }
-        }
+        };
+        self.walk_latency.record(result.latency.value());
+        let pwc_hits = result
+            .pte_reads
+            .iter()
+            .filter(|s| **s == ServicedBy::Pwc)
+            .count() as u64;
+        self.pwc_hits_per_walk.record(pwc_hits);
+        result
     }
 }
 

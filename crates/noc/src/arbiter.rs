@@ -9,7 +9,6 @@
 
 use nocstar_types::time::Cycle;
 use nocstar_types::CoreId;
-use serde::{Deserialize, Serialize};
 
 /// The chip-wide rotating static priority order.
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(prio.rank(CoreId::new(1), Cycle::new(1000)), 0);
 /// assert_eq!(prio.rank(CoreId::new(0), Cycle::new(1000)), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PriorityRotation {
     cores: usize,
     period: u64,
@@ -45,6 +44,12 @@ impl PriorityRotation {
         assert!(cores > 0, "need at least one core");
         assert!(period > 0, "rotation period must be nonzero");
         Self { cores, period }
+    }
+
+    /// The rotation epoch containing `now` (increments every `period`
+    /// cycles; each increment shifts the whole priority order by one).
+    pub fn epoch(&self, now: Cycle) -> u64 {
+        now.value() / self.period
     }
 
     /// The priority rank of `core` at time `now` — 0 is highest.

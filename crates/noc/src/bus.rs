@@ -48,7 +48,8 @@ impl BusNoc {
             pending: VecDeque::new(),
             in_flight: None,
             local_ready: Vec::new(),
-            stats: NocStats::default(),
+            // The shared medium is modelled as a single link (index 0).
+            stats: NocStats::with_links(1),
         }
     }
 }
@@ -97,6 +98,8 @@ impl Interconnect for BusNoc {
                 if submitted <= cycle {
                     self.pending.pop_front();
                     self.in_flight = Some((msg, cycle + Cycles::ONE, submitted));
+                    self.stats.grants += 1;
+                    self.stats.link_busy[0] += 1;
                 }
             }
         }
@@ -115,7 +118,7 @@ impl Interconnect for BusNoc {
     }
 
     fn reset_stats(&mut self) {
-        self.stats = NocStats::default();
+        self.stats.reset();
     }
 }
 
@@ -138,7 +141,7 @@ mod tests {
                 Some(next) => {
                     cycle = cycle.max(next);
                     out.extend(bus.advance(cycle));
-                    cycle = cycle + Cycles::ONE;
+                    cycle += Cycles::ONE;
                 }
             }
         }

@@ -21,11 +21,10 @@ use crate::topology::{LinkId, Links};
 use crate::{Interconnect, NocStats};
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::MeshShape;
-use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, HashMap};
 
 /// Link-reservation policy (Fig 16 left).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AcquireMode {
     /// Each message (request *and* response) arbitrates for its own
     /// one-way path. The paper finds this performs better.
@@ -92,6 +91,9 @@ pub struct CircuitFabric {
     scheduled: BinaryHeap<Scheduled>,
     seq: u64,
     stats: NocStats,
+    /// Last priority-rotation epoch seen by `advance` (for the rotation
+    /// counter in [`NocStats`]).
+    last_epoch: u64,
     /// When true, arbitration always succeeds (the `NOCSTAR (ideal)`
     /// series of Fig 15: zero contention, real setup + traversal cycles).
     contention_free: bool,
@@ -124,6 +126,7 @@ impl CircuitFabric {
         let n = links.count().max(1);
         Self {
             prio: PriorityRotation::new(mesh.tiles(), rotation_period),
+            stats: NocStats::with_links(links.count()),
             links,
             hpc_max,
             mode,
@@ -133,7 +136,7 @@ impl CircuitFabric {
             pending: Vec::new(),
             scheduled: BinaryHeap::new(),
             seq: 0,
-            stats: NocStats::default(),
+            last_epoch: 0,
             contention_free: false,
         }
     }
@@ -188,9 +191,11 @@ impl CircuitFabric {
             .unwrap_or_else(|| panic!("no round-trip reservation for message {}", msg.id));
         let arrival = depart_at + self.traversal_cycles(reservation.reverse_hops);
         self.stats.latency.record(arrival - depart_at);
+        let held = (arrival - depart_at).value();
         for link in &reservation.links {
             self.reserved_by[link.index()] = None;
             self.busy_until[link.index()] = arrival;
+            self.stats.link_busy[link.index()] += held;
         }
         self.schedule(msg, arrival);
     }
@@ -268,9 +273,12 @@ impl CircuitFabric {
             self.stats.latency.record(arrival - p.submitted_at);
             let path = p.path.clone();
             let reverse_path = p.reverse_path.clone();
+            let traversal = (arrival - cycle).value();
             for link in &path {
                 self.busy_until[link.index()] = arrival;
+                self.stats.link_busy[link.index()] += traversal;
             }
+            self.stats.grants += 1;
             if self.mode == AcquireMode::RoundTrip && !reverse_path.is_empty() {
                 let mut all: Vec<LinkId> = path;
                 all.extend(reverse_path.iter().copied());
@@ -338,6 +346,11 @@ impl Interconnect for CircuitFabric {
     }
 
     fn advance(&mut self, cycle: Cycle) -> Vec<Delivery> {
+        let epoch = self.prio.epoch(cycle);
+        if epoch > self.last_epoch {
+            self.stats.rotations += epoch - self.last_epoch;
+            self.last_epoch = epoch;
+        }
         self.arbitrate(cycle);
         let mut out = Vec::new();
         while let Some(top) = self.scheduled.peek() {
@@ -368,7 +381,7 @@ impl Interconnect for CircuitFabric {
     }
 
     fn reset_stats(&mut self) {
-        self.stats = NocStats::default();
+        self.stats.reset();
     }
 }
 

@@ -11,11 +11,10 @@
 
 use nocstar_tlb::sram;
 use nocstar_types::time::Cycles;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A shared-L2-TLB design point of Fig 11(a).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SharedTlbDesign {
     /// Monolithic banked SRAM reached over a multi-hop mesh.
     Monolithic {
@@ -47,7 +46,7 @@ impl fmt::Display for SharedTlbDesign {
 }
 
 /// The two stacked components Fig 11(a) plots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MessageLatency {
     /// SRAM lookup component.
     pub access: Cycles,

@@ -64,7 +64,6 @@ pub use smart::SmartNoc;
 
 use nocstar_stats::latency::LatencyRecorder;
 use nocstar_types::time::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Cycle-batch interface shared by every network model.
 ///
@@ -93,7 +92,7 @@ pub trait Interconnect {
 }
 
 /// Statistics common to all network models.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct NocStats {
     /// End-to-end network latency per delivered message (submit → arrival).
     pub latency: LatencyRecorder,
@@ -105,9 +104,33 @@ pub struct NocStats {
     pub delivered: u64,
     /// Path-setup retries (NOCSTAR) or per-hop stalls (mesh / SMART).
     pub retries: u64,
+    /// Arbitration grants: full-path acquisitions (NOCSTAR), claimed hops
+    /// (mesh / SMART), or bus ownership grants.
+    pub grants: u64,
+    /// Priority-rotation epochs crossed while advancing (NOCSTAR only).
+    pub rotations: u64,
+    /// Busy cycles per directed link, indexed by `LinkId` (the bus models
+    /// its single shared medium as link 0). A link's utilization over a
+    /// measurement window is `link_busy[l] / window`.
+    pub link_busy: Vec<u64>,
 }
 
 impl NocStats {
+    /// Stats for a network with `links` directed links, all counters zero.
+    pub fn with_links(links: usize) -> Self {
+        Self {
+            link_busy: vec![0; links],
+            ..Self::default()
+        }
+    }
+
+    /// Zeroes every counter while keeping the per-link vector's length
+    /// (used at the warmup/measurement boundary).
+    pub fn reset(&mut self) {
+        let links = self.link_busy.len();
+        *self = Self::with_links(links);
+    }
+
     /// Fraction of messages that experienced no contention at all.
     pub fn no_contention_fraction(&self) -> f64 {
         if self.delivered == 0 {
@@ -115,5 +138,17 @@ impl NocStats {
         } else {
             self.no_contention as f64 / self.delivered as f64
         }
+    }
+
+    /// Per-link utilization over a measurement window of `window` cycles
+    /// (empty when the window is zero).
+    pub fn link_utilization(&self, window: u64) -> Vec<f64> {
+        if window == 0 {
+            return Vec::new();
+        }
+        self.link_busy
+            .iter()
+            .map(|&b| b as f64 / window as f64)
+            .collect()
     }
 }

@@ -77,13 +77,14 @@ pub struct MeshNoc {
 impl MeshNoc {
     /// A mesh with per-link contention (used under synthetic load).
     pub fn contended(mesh: MeshShape) -> Self {
+        let links = Links::new(mesh);
         Self {
-            links: Links::new(mesh),
+            stats: NocStats::with_links(links.count()),
+            links,
             contention_free: false,
             flights: Vec::new(),
             scheduled: BinaryHeap::new(),
             seq: 0,
-            stats: NocStats::default(),
         }
     }
 
@@ -137,6 +138,8 @@ impl MeshNoc {
                 continue;
             }
             claimed.insert(link, ());
+            self.stats.grants += 1;
+            self.stats.link_busy[link] += CYCLES_PER_HOP;
             let f = &mut self.flights[i];
             f.pos += 1;
             if f.pos + 1 == f.tiles.len() {
@@ -214,7 +217,7 @@ impl Interconnect for MeshNoc {
     }
 
     fn reset_stats(&mut self) {
-        self.stats = NocStats::default();
+        self.stats.reset();
     }
 }
 
@@ -318,7 +321,7 @@ mod tests {
                         for d in noc.advance(cycle) {
                             proptest::prop_assert!(seen.insert(d.msg.id), "duplicate");
                         }
-                        cycle = cycle + Cycles::ONE;
+                        cycle += Cycles::ONE;
                     }
                 }
             }

@@ -8,12 +8,11 @@
 
 use nocstar_types::time::Cycle;
 use nocstar_types::CoreId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What a message is carrying (used for statistics and for the simulator's
 /// dispatch; the network treats all kinds identically).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MsgKind {
     /// L1-TLB-miss lookup request to a shared L2 slice/bank.
     TlbRequest,
@@ -38,7 +37,7 @@ impl fmt::Display for MsgKind {
 }
 
 /// A single-flit message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Message {
     /// Caller-chosen id used to match deliveries back to transactions.
     pub id: u64,

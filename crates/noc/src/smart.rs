@@ -83,13 +83,14 @@ impl SmartNoc {
     /// Panics if `hpc_max` is zero.
     pub fn new(mesh: MeshShape, hpc_max: usize) -> Self {
         assert!(hpc_max > 0, "HPCmax must be at least 1");
+        let links = Links::new(mesh);
         Self {
-            links: Links::new(mesh),
+            stats: NocStats::with_links(links.count()),
+            links,
             hpc_max,
             flights: Vec::new(),
             scheduled: BinaryHeap::new(),
             seq: 0,
-            stats: NocStats::default(),
         }
     }
 
@@ -154,7 +155,12 @@ impl SmartNoc {
                 self.stats.retries += 1;
                 continue;
             }
+            for &link in &links_to_claim {
+                self.stats.link_busy[link] += 1;
+            }
+            self.stats.grants += run as u64;
             claimed.extend(links_to_claim);
+            let f = &mut self.flights[i];
             f.pos += run;
             if f.pos + 1 == f.tiles.len() {
                 let arrival = cycle + Cycles::ONE;
@@ -228,7 +234,7 @@ impl Interconnect for SmartNoc {
     }
 
     fn reset_stats(&mut self) {
-        self.stats = NocStats::default();
+        self.stats.reset();
     }
 }
 
@@ -335,7 +341,7 @@ mod tests {
                         for d in noc.advance(cycle) {
                             proptest::prop_assert!(seen.insert(d.msg.id), "duplicate");
                         }
-                        cycle = cycle + Cycles::ONE;
+                        cycle += Cycles::ONE;
                     }
                 }
             }

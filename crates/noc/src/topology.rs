@@ -5,11 +5,10 @@
 //! (arbiters, busy-until times, per-cycle claims) lives in flat vectors.
 
 use nocstar_types::{Coord, CoreId, MeshShape};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense identifier for one directed mesh link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(usize);
 
 impl LinkId {
@@ -38,7 +37,7 @@ impl fmt::Display for LinkId {
 /// let path = links.path(CoreId::new(0), CoreId::new(15));
 /// assert_eq!(path.len(), 6); // 3 east + 3 south hops
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Links {
     mesh: MeshShape,
 }

@@ -12,10 +12,9 @@ use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::{CoreId, MeshShape};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Results of one synthetic-traffic run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrafficReport {
     /// Offered injection rate (messages per core per cycle).
     pub injection_rate: f64,

@@ -7,7 +7,6 @@
 //! outstanding (including the new one) into [`ConcurrencyBins`].
 
 use crate::histogram::ConcurrencyBins;
-use serde::{Deserialize, Serialize};
 
 /// Tracks the number of outstanding accesses to one structure (the whole
 /// shared TLB, or a single slice) and bins each access start by how many
@@ -27,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((f[0] - 0.5).abs() < 1e-12);
 /// assert!((f[1] - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OutstandingTracker {
     outstanding: u64,
     peak: u64,

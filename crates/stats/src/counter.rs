@@ -1,6 +1,5 @@
 //! Event counters.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::AddAssign;
 
@@ -15,7 +14,7 @@ use std::ops::AddAssign;
 /// walks.add(4);
 /// assert_eq!(walks.get(), 5);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -84,7 +83,7 @@ impl fmt::Display for Counter {
 /// assert_eq!(tlb.misses(), 1);
 /// assert!((tlb.miss_rate() - 0.25).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HitMiss {
     hits: Counter,
     misses: Counter,

@@ -1,6 +1,5 @@
 //! Bucketed distributions, including the paper's concurrency bins.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A histogram over `u64` samples with caller-chosen bucket upper bounds.
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert_eq!(h.counts(), &[2, 1, 1, 2]); // <=1, 2..=4, 5..=8, >8
 /// assert_eq!(h.total(), 6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     bounds: Vec<u64>,
     counts: Vec<u64>,
@@ -169,7 +168,7 @@ impl fmt::Display for Histogram {
 /// assert!((f[0] - 1.0 / 3.0).abs() < 1e-12); // "1 acc"
 /// assert!((f[8] - 1.0 / 3.0).abs() < 1e-12); // "29+ acc"
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConcurrencyBins {
     histogram: Histogram,
 }

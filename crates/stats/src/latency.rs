@@ -1,7 +1,6 @@
 //! Latency recorders for messages, lookups and walks.
 
 use nocstar_types::time::Cycles;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Accumulates a stream of latencies and reports count / min / mean / max.
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert_eq!(net.mean(), 3.0);
 /// assert_eq!(net.max(), Cycles::new(4));
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyRecorder {
     count: u64,
     sum: u64,

@@ -8,6 +8,10 @@
 //!   concurrent-access bins (1, 2–4, 5–8, …, 29+) used by Figs 5 and 6.
 //! * [`concurrency`] — the outstanding-access tracker that feeds those bins.
 //! * [`latency`] — min/mean/max latency recorders for messages and lookups.
+//! * [`metrics`] — the named-metric registry (counters, gauges, log2
+//!   histograms) behind `SimReport` observability snapshots.
+//! * [`tracing`] — the opt-in bounded ring buffer for cycle-level event
+//!   traces.
 //! * [`summary`] — min/avg/max and geometric-mean reductions over run results.
 //! * [`table`] — plain-text table rendering used by the bench harness to
 //!   print each figure's rows.
@@ -31,12 +35,16 @@ pub mod concurrency;
 pub mod counter;
 pub mod histogram;
 pub mod latency;
+pub mod metrics;
 pub mod summary;
 pub mod table;
+pub mod tracing;
 
 pub use concurrency::OutstandingTracker;
 pub use counter::{Counter, HitMiss};
 pub use histogram::{ConcurrencyBins, Histogram};
 pub use latency::LatencyRecorder;
+pub use metrics::{Log2Histogram, MetricsRegistry, MetricsSnapshot};
 pub use summary::Summary;
 pub use table::Table;
+pub use tracing::{TraceRecord, TraceSink};

@@ -3,7 +3,6 @@
 //! The paper reports speedups as workload averages with min/max whiskers
 //! (Fig 14, Table III); [`Summary`] is that reduction.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Min / arithmetic-mean / max / geometric-mean summary of an `f64` series.
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert!((s.mean() - 7.0 / 3.0).abs() < 1e-12);
 /// assert!((s.geomean() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     count: usize,
     min: f64,

@@ -3,7 +3,6 @@
 //! Each figure/table binary assembles a [`Table`] whose rows mirror the
 //! series the paper plots, then prints it (and optionally CSV for plotting).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A simple column-aligned text table.
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert!(text.contains("workload"));
 /// assert!(text.contains("1.25"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,

@@ -6,7 +6,6 @@
 //! the context id (ASID), the virtual page tag, and the physical frame.
 
 use nocstar_types::{Asid, PageSize, PhysPageNum, VirtAddr, VirtPageNum};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One cached virtual-to-physical translation.
@@ -26,7 +25,7 @@ use std::fmt;
 /// assert!(e.matches(Asid::new(3), VirtPageNum::new(0x10, PageSize::Size2M)));
 /// assert!(!e.matches(Asid::new(4), VirtPageNum::new(0x10, PageSize::Size2M)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TlbEntry {
     asid: Asid,
     vpn: VirtPageNum,

@@ -11,7 +11,6 @@ use crate::replacement::ReplacementPolicy;
 use crate::set_assoc::SetAssocTlb;
 use nocstar_stats::counter::HitMiss;
 use nocstar_types::{Asid, PageSize, VirtAddr, VirtPageNum};
-use serde::{Deserialize, Serialize};
 
 /// Sizing of the three per-page-size L1 arrays.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// let bigger = L1Config::haswell().scale(1.5);
 /// assert_eq!(bigger.entries_4k, 96);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct L1Config {
     /// Entries in the 4 KiB-page array.
     pub entries_4k: usize,
@@ -100,7 +99,7 @@ impl Default for L1Config {
 /// let hit = l1.lookup(asid, va).unwrap();
 /// assert_eq!(hit.page_size(), PageSize::Size2M);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct L1Tlb {
     t4k: SetAssocTlb,
     t2m: SetAssocTlb,

@@ -6,7 +6,6 @@
 //! effective, with deeper prefetching polluting the TLB.
 
 use nocstar_types::VirtPageNum;
-use serde::{Deserialize, Serialize};
 
 /// How many adjacent virtual pages to prefetch on each side of a miss.
 ///
@@ -18,9 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(PrefetchDepth::new(2).unwrap().depth(), 2);
 /// assert!(PrefetchDepth::new(4).is_none()); // paper studies up to +/-3
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PrefetchDepth(u8);
 
 impl PrefetchDepth {

@@ -3,10 +3,8 @@
 //! The paper's TLBs use LRU (§III-E); FIFO and a deterministic pseudo-random
 //! policy are provided for ablation.
 
-use serde::{Deserialize, Serialize};
-
 /// Which way of a full set to evict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ReplacementPolicy {
     /// Evict the least-recently-used way (the paper's choice).
     #[default]
@@ -19,7 +17,7 @@ pub enum ReplacementPolicy {
 
 /// Per-array replacement state: a monotonic use/insert clock plus the RNG
 /// state for [`ReplacementPolicy::Random`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) struct ReplacementState {
     policy: ReplacementPolicy,
     clock: u64,

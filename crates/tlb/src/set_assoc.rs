@@ -11,9 +11,8 @@ use crate::entry::TlbEntry;
 use crate::replacement::{ReplacementPolicy, ReplacementState};
 use nocstar_stats::counter::HitMiss;
 use nocstar_types::{Asid, VirtPageNum};
-use serde::{Deserialize, Serialize};
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Way {
     entry: TlbEntry,
     inserted: u64,
@@ -37,7 +36,7 @@ struct Way {
 /// tlb.insert(TlbEntry::new(asid, vpn, PhysPageNum::new(7, PageSize::Size4K)));
 /// assert_eq!(tlb.lookup(asid, vpn).unwrap().ppn().number(), 7);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SetAssocTlb {
     sets: Vec<Vec<Way>>,
     ways: usize,

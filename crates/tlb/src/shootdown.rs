@@ -7,11 +7,10 @@
 //! leader of its group relays the invalidation to the shared slice.
 
 use nocstar_types::{Asid, CoreId, VirtPageNum};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One translation to shoot down.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Invalidation {
     /// Address space whose mapping changed.
     pub asid: Asid,
@@ -30,7 +29,7 @@ impl fmt::Display for Invalidation {
 /// Fig 16 (right) sweeps the leader granularity: one leader per 4 cores,
 /// per 8 cores, and a single leader for the whole chip, against the
 /// baseline of every core relaying its own invalidations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LeaderPolicy {
     /// Every core relays its own invalidations (no leaders). Simple, but
     /// can flood the interconnect when many cores shoot down the same page.

@@ -11,12 +11,12 @@ use crate::replacement::ReplacementPolicy;
 use crate::set_assoc::SetAssocTlb;
 use crate::sram;
 use nocstar_stats::latency::LatencyRecorder;
+use nocstar_stats::Log2Histogram;
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::{Asid, VirtAddr, VirtPageNum};
-use serde::{Deserialize, Serialize};
 
 /// Port configuration of a slice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SlicePorts {
     /// Concurrent read issues per cycle.
     pub read: usize,
@@ -55,13 +55,14 @@ impl Default for SlicePorts {
 /// assert_eq!(second, t0 + slice.lookup_latency());
 /// assert_eq!(third, t0 + Cycles::ONE + slice.lookup_latency());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TlbSlice {
     array: SetAssocTlb,
     lookup_latency: Cycles,
     read_free: Vec<Cycle>,
     write_free: Vec<Cycle>,
     queue_delay: LatencyRecorder,
+    queue_wait: Log2Histogram,
 }
 
 impl TlbSlice {
@@ -95,6 +96,7 @@ impl TlbSlice {
             read_free: vec![Cycle::ZERO; ports.read],
             write_free: vec![Cycle::ZERO; ports.write],
             queue_delay: LatencyRecorder::new(),
+            queue_wait: Log2Histogram::new(),
         }
     }
 
@@ -118,6 +120,7 @@ impl TlbSlice {
             now,
             self.lookup_latency,
             &mut self.queue_delay,
+            &mut self.queue_wait,
         )
     }
 
@@ -129,6 +132,7 @@ impl TlbSlice {
             now,
             self.lookup_latency,
             &mut self.queue_delay,
+            &mut self.queue_wait,
         )
     }
 
@@ -137,11 +141,13 @@ impl TlbSlice {
         now: Cycle,
         latency: Cycles,
         queue_delay: &mut LatencyRecorder,
+        queue_wait: &mut Log2Histogram,
     ) -> Cycle {
         let earliest = ports.iter_mut().min().expect("ports are nonzero");
         let issue = now.max(*earliest);
         *earliest = issue + Cycles::ONE;
         queue_delay.record(issue - now);
+        queue_wait.record((issue - now).value());
         issue + latency
     }
 
@@ -187,11 +193,17 @@ impl TlbSlice {
     pub fn reset_stats(&mut self) {
         self.array.reset_stats();
         self.queue_delay = LatencyRecorder::new();
+        self.queue_wait = Log2Histogram::new();
     }
 
     /// Distribution of cycles requests spent waiting for a free port.
     pub fn queue_delay(&self) -> &LatencyRecorder {
         &self.queue_delay
+    }
+
+    /// The same port-wait distribution, log2-bucketed for metric snapshots.
+    pub fn queue_wait_histogram(&self) -> &Log2Histogram {
+        &self.queue_wait
     }
 }
 

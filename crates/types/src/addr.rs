@@ -6,7 +6,6 @@
 //! type-visible operation (`vpn.page_size()`), which mirrors how the
 //! hardware keeps separate TLB arrays per page size.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Page size supported by the simulated x86-64-style MMU.
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
 /// assert_eq!(PageSize::Size4K.shift(), 12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PageSize {
     /// 4 KiB base page.
     Size4K,
@@ -86,7 +85,6 @@ macro_rules! addr_newtype {
         $(#[$meta])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
         pub struct $name(u64);
 
@@ -190,7 +188,6 @@ macro_rules! page_num_newtype {
         $(#[$meta])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-            Serialize, Deserialize,
         )]
         pub struct $name {
             number: u64,

@@ -5,13 +5,10 @@
 //! row-major, so tile ids map directly to [`crate::ids::CoreId`] indices.
 
 use crate::ids::CoreId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A tile coordinate on the mesh: `x` is the column, `y` the row.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Coord {
     /// Column index (0 = west edge).
     pub x: usize,
@@ -52,7 +49,7 @@ impl fmt::Display for Coord {
 /// let far = mesh.hops(CoreId::new(0), CoreId::new(31));
 /// assert_eq!(far, 7 + 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MeshShape {
     cols: usize,
     rows: usize,

@@ -4,7 +4,6 @@
 //! the simulator, while keeping a `CoreId` from being accidentally used
 //! where a `SliceId` is expected.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_newtype {
@@ -12,7 +11,6 @@ macro_rules! id_newtype {
         $(#[$meta])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
         pub struct $name(usize);
 
@@ -90,9 +88,7 @@ id_newtype! {
 /// use nocstar_types::ids::Asid;
 /// assert_ne!(Asid::KERNEL, Asid::new(1));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Asid(u16);
 
 impl Asid {

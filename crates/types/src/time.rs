@@ -3,7 +3,6 @@
 //! [`Cycle`] is a point on the global clock; [`Cycles`] is a duration.
 //! Keeping them distinct catches the classic bug of adding two timestamps.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
@@ -15,9 +14,7 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// let t = Cycle::ZERO + Cycles::new(10);
 /// assert_eq!(t - Cycle::ZERO, Cycles::new(10));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycle(u64);
 
 /// A duration measured in clock cycles.
@@ -26,9 +23,7 @@ pub struct Cycle(u64);
 /// use nocstar_types::time::Cycles;
 /// assert_eq!(Cycles::new(3) + Cycles::new(4), Cycles::new(7));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycles(u64);
 
 impl Cycle {

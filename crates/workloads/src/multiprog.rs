@@ -5,11 +5,10 @@
 //! application, each application in its own address space.
 
 use crate::preset::Preset;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One multiprogrammed mix: four distinct applications.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Mix {
     /// The four applications, in preset order.
     pub apps: [Preset; 4],

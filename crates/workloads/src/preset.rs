@@ -10,11 +10,10 @@
 //! elimination grows with core count as in Fig 2.
 
 use crate::spec::{ColdDistribution, WorkloadSpec};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the paper's 11 workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum Preset {
     Graph500,

@@ -8,10 +8,12 @@
 //! bridge: a serializable event list plus the page-size backing decisions,
 //! replayable as a [`TraceSource`].
 
-use crate::trace::{TraceEvent, TraceSource};
-use nocstar_types::{Asid, PageSize, VirtAddr};
-use serde::{Deserialize, Serialize};
+use crate::trace::{MemAccess, TraceEvent, TraceSource};
+use nocstar_json::Json;
+use nocstar_types::time::Cycles;
+use nocstar_types::{Asid, PageSize, VirtAddr, VirtPageNum};
 use std::collections::HashMap;
+use std::fmt;
 
 /// A finite captured trace, replayed in a loop.
 ///
@@ -32,15 +34,136 @@ use std::collections::HashMap;
 /// }
 /// assert_eq!(replay.asid(), Asid::new(1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecordedTrace {
     asid: Asid,
     events: Vec<TraceEvent>,
     /// Page-size backing per 2 MiB-aligned virtual frame (addresses not
     /// listed default to 4 KiB).
     superpage_frames: HashMap<u64, ()>,
-    #[serde(skip)]
     cursor: usize,
+}
+
+/// Why a trace failed to deserialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceJsonError {
+    /// The text is not well-formed JSON.
+    Parse(nocstar_json::ParseError),
+    /// The JSON is well-formed but does not match the trace schema.
+    Schema(String),
+}
+
+impl fmt::Display for TraceJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceJsonError::Parse(e) => write!(f, "{e}"),
+            TraceJsonError::Schema(msg) => write!(f, "trace schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceJsonError {}
+
+fn schema_err(msg: &str) -> TraceJsonError {
+    TraceJsonError::Schema(msg.to_string())
+}
+
+fn page_size_label(size: PageSize) -> &'static str {
+    match size {
+        PageSize::Size4K => "4K",
+        PageSize::Size2M => "2M",
+        PageSize::Size1G => "1G",
+    }
+}
+
+fn page_size_from_label(label: &str) -> Result<PageSize, TraceJsonError> {
+    match label {
+        "4K" => Ok(PageSize::Size4K),
+        "2M" => Ok(PageSize::Size2M),
+        "1G" => Ok(PageSize::Size1G),
+        other => Err(TraceJsonError::Schema(format!(
+            "unknown page size {other:?}"
+        ))),
+    }
+}
+
+fn vpn_to_json(vpn: VirtPageNum) -> Json {
+    Json::obj(vec![
+        ("n", Json::U64(vpn.number())),
+        ("s", Json::str(page_size_label(vpn.page_size()))),
+    ])
+}
+
+fn vpn_from_json(v: &Json) -> Result<VirtPageNum, TraceJsonError> {
+    let number = v
+        .get("n")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| schema_err("page number missing 'n'"))?;
+    let size = v
+        .get("s")
+        .and_then(Json::as_str)
+        .ok_or_else(|| schema_err("page number missing 's'"))?;
+    Ok(VirtPageNum::new(number, page_size_from_label(size)?))
+}
+
+fn event_to_json(event: &TraceEvent) -> Json {
+    match event {
+        TraceEvent::Access(a) => Json::obj(vec![
+            ("t", Json::str("access")),
+            ("va", Json::U64(a.va.value())),
+            ("w", Json::Bool(a.is_write)),
+            ("gap", Json::U64(a.gap.value())),
+        ]),
+        TraceEvent::ContextSwitch => Json::obj(vec![("t", Json::str("ctx_switch"))]),
+        TraceEvent::Remap(vpn) => {
+            Json::obj(vec![("t", Json::str("remap")), ("page", vpn_to_json(*vpn))])
+        }
+        TraceEvent::Promote(vpn) => Json::obj(vec![
+            ("t", Json::str("promote")),
+            ("page", vpn_to_json(*vpn)),
+        ]),
+        TraceEvent::Demote(vpn) => Json::obj(vec![
+            ("t", Json::str("demote")),
+            ("page", vpn_to_json(*vpn)),
+        ]),
+    }
+}
+
+fn event_from_json(v: &Json) -> Result<TraceEvent, TraceJsonError> {
+    let tag = v
+        .get("t")
+        .and_then(Json::as_str)
+        .ok_or_else(|| schema_err("event missing 't' tag"))?;
+    let page = || {
+        v.get("page")
+            .ok_or_else(|| schema_err("event missing 'page'"))
+            .and_then(vpn_from_json)
+    };
+    match tag {
+        "access" => Ok(TraceEvent::Access(MemAccess {
+            va: VirtAddr::new(
+                v.get("va")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| schema_err("access missing 'va'"))?,
+            ),
+            is_write: v
+                .get("w")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| schema_err("access missing 'w'"))?,
+            gap: Cycles::new(
+                v.get("gap")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| schema_err("access missing 'gap'"))?,
+            ),
+        })),
+        "ctx_switch" => Ok(TraceEvent::ContextSwitch),
+        "remap" => Ok(TraceEvent::Remap(page()?)),
+        "promote" => Ok(TraceEvent::Promote(page()?)),
+        "demote" => Ok(TraceEvent::Demote(page()?)),
+        other => Err(TraceJsonError::Schema(format!(
+            "unknown event tag {other:?}"
+        ))),
+    }
 }
 
 impl RecordedTrace {
@@ -95,21 +218,62 @@ impl RecordedTrace {
 
     /// Serializes to JSON (the interchange format for external traces).
     ///
-    /// # Errors
-    ///
-    /// Returns the underlying serializer error (I/O-free; effectively
-    /// infallible for this type).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string(self)
+    /// Superpage frames are emitted sorted, so equal traces always produce
+    /// byte-identical text regardless of hash-map iteration order.
+    pub fn to_json(&self) -> String {
+        let mut frames: Vec<u64> = self.superpage_frames.keys().copied().collect();
+        frames.sort_unstable();
+        Json::obj(vec![
+            ("asid", Json::U64(u64::from(self.asid.value()))),
+            (
+                "events",
+                Json::Arr(self.events.iter().map(event_to_json).collect()),
+            ),
+            (
+                "superpage_frames",
+                Json::Arr(frames.into_iter().map(Json::U64).collect()),
+            ),
+        ])
+        .to_string()
     }
 
     /// Deserializes from JSON.
     ///
     /// # Errors
     ///
-    /// Returns a parse error if the JSON does not match the trace schema.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns a parse error if the text is not JSON, or a schema error if
+    /// it does not match the trace format.
+    pub fn from_json(json: &str) -> Result<Self, TraceJsonError> {
+        let doc = Json::parse(json).map_err(TraceJsonError::Parse)?;
+        let asid = doc
+            .get("asid")
+            .and_then(Json::as_u64)
+            .and_then(|v| u16::try_from(v).ok())
+            .ok_or_else(|| schema_err("trace missing 'asid'"))?;
+        let events = doc
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or_else(|| schema_err("trace missing 'events'"))?
+            .iter()
+            .map(event_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let superpage_frames = doc
+            .get("superpage_frames")
+            .and_then(Json::as_array)
+            .ok_or_else(|| schema_err("trace missing 'superpage_frames'"))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .map(|frame| (frame, ()))
+                    .ok_or_else(|| schema_err("superpage frame must be an integer"))
+            })
+            .collect::<Result<HashMap<_, _>, _>>()?;
+        Ok(Self {
+            asid: Asid::new(asid),
+            events,
+            superpage_frames,
+            cursor: 0,
+        })
     }
 }
 
@@ -191,9 +355,11 @@ mod tests {
     fn json_round_trip() {
         let mut a = live();
         let recorded = RecordedTrace::capture(&mut a, 50);
-        let json = recorded.to_json().unwrap();
+        let json = recorded.to_json();
         let back = RecordedTrace::from_json(&json).unwrap();
         assert_eq!(back, recorded);
+        // Determinism: serializing the round-tripped trace reproduces the text.
+        assert_eq!(back.to_json(), json);
     }
 
     #[test]

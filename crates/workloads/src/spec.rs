@@ -18,10 +18,9 @@
 
 use crate::generator::SyntheticTrace;
 use nocstar_types::{Asid, ThreadId};
-use serde::{Deserialize, Serialize};
 
 /// How cold (non-hot-set) pages are chosen within a region.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ColdDistribution {
     /// Uniform over the cold pages (gups-like random access).
     Uniform,
@@ -35,7 +34,7 @@ pub enum ColdDistribution {
 }
 
 /// A complete synthetic workload description.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadSpec {
     /// Workload name (the paper's label).
     pub name: &'static str,

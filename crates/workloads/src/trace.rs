@@ -2,10 +2,9 @@
 
 use nocstar_types::time::Cycles;
 use nocstar_types::{Asid, PageSize, VirtAddr, VirtPageNum};
-use serde::{Deserialize, Serialize};
 
 /// One memory operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemAccess {
     /// The virtual address touched.
     pub va: VirtAddr,
@@ -18,7 +17,7 @@ pub struct MemAccess {
 }
 
 /// One event in a thread's trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// Execute a memory access (translation on the critical path).
     Access(MemAccess),

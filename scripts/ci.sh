@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local CI gate for the workspace. Run from anywhere; it cd's to the
+# repo root. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --workspace --release
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "CI gate passed."

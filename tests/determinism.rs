@@ -1,0 +1,90 @@
+//! Determinism regression suite for the observability layer.
+//!
+//! The simulator's claim is strong: repeated runs of the same
+//! configuration produce *byte-identical* serialized reports, regardless
+//! of how many worker threads the bench harness fans out over, and
+//! enabling metrics or tracing never changes simulated time. These tests
+//! pin all three properties for every L2 organization.
+
+use nocstar::prelude::*;
+
+const CORES: usize = 8;
+const WARMUP: u64 = 300;
+const MEASURE: u64 = 700;
+
+fn all_orgs() -> [TlbOrg; 5] {
+    [
+        TlbOrg::paper_private(),
+        TlbOrg::paper_monolithic(CORES),
+        TlbOrg::paper_distributed(),
+        TlbOrg::paper_nocstar(),
+        TlbOrg::paper_ideal(),
+    ]
+}
+
+fn run_report(org: TlbOrg, metrics: bool, trace_capacity: usize) -> SimReport {
+    let mut config = SystemConfig::new(CORES, org);
+    config.metrics = metrics;
+    config.trace_capacity = trace_capacity;
+    let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+    Simulation::new(config, workload).run_measured(WARMUP, MEASURE)
+}
+
+fn report_json(org: TlbOrg, metrics: bool, trace_capacity: usize) -> String {
+    run_report(org, metrics, trace_capacity)
+        .to_json()
+        .to_string()
+}
+
+#[test]
+fn serialized_reports_are_byte_identical_across_runs() {
+    for org in all_orgs() {
+        let first = report_json(org, true, 256);
+        let second = report_json(org, true, 256);
+        assert_eq!(first, second, "nondeterministic report for {}", org.label());
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_serialized_reports() {
+    // The bench harness fans independent simulations over a worker pool
+    // whose width NOCSTAR_WORKERS pins; results must not depend on it.
+    // (No other test in this file reads that variable.)
+    let run_all = || -> Vec<String> {
+        nocstar_bench::parallel_map(all_orgs().to_vec(), |&org| report_json(org, true, 0))
+    };
+    std::env::set_var("NOCSTAR_WORKERS", "1");
+    let serial = run_all();
+    std::env::set_var("NOCSTAR_WORKERS", "4");
+    let pooled = run_all();
+    std::env::remove_var("NOCSTAR_WORKERS");
+    assert_eq!(serial, pooled);
+}
+
+#[test]
+fn metrics_and_tracing_do_not_change_simulated_time() {
+    for org in all_orgs() {
+        let plain = run_report(org, false, 0);
+        let observed = run_report(org, true, 512);
+        let label = org.label();
+        assert_eq!(plain.cycles, observed.cycles, "cycles changed for {label}");
+        assert_eq!(
+            plain.per_thread_finish, observed.per_thread_finish,
+            "finish times changed for {label}"
+        );
+        assert_eq!(
+            plain.l2.misses(),
+            observed.l2.misses(),
+            "L2 misses changed for {label}"
+        );
+        assert_eq!(plain.walks, observed.walks, "walks changed for {label}");
+        assert!(
+            plain.metrics.is_empty(),
+            "metrics leaked when off ({label})"
+        );
+        assert!(
+            !observed.metrics.is_empty(),
+            "metrics missing when on ({label})"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Golden-report regression harness.
+//!
+//! One small, fixed simulation per L2 organization is serialized to JSON
+//! and compared byte-for-byte against a checked-in snapshot under
+//! `tests/golden/`. Any change to simulated timing, statistics, metric
+//! names, or the serialization format shows up as a readable diff here.
+//!
+//! To bless intentional changes, regenerate the snapshots with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_reports
+//! ```
+//!
+//! and review the resulting `tests/golden/*.json` diff like any other
+//! code change.
+
+use nocstar::prelude::*;
+use std::path::PathBuf;
+
+const CORES: usize = 4;
+const WARMUP: u64 = 200;
+const MEASURE: u64 = 500;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn golden_json(org: TlbOrg) -> String {
+    let mut config = SystemConfig::new(CORES, org);
+    config.metrics = true;
+    // A tiny ring keeps the snapshot readable while still pinning the
+    // trace serialization format and the drop accounting.
+    config.trace_capacity = 32;
+    let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+    let report = Simulation::new(config, workload).run_measured(WARMUP, MEASURE);
+    let mut text = report.to_json().to_string_pretty();
+    text.push('\n');
+    text
+}
+
+fn check_golden(name: &str, org: TlbOrg) {
+    let actual = golden_json(org);
+    let path = golden_dir().join(format!("{name}.json"));
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v != "0") {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, &actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run UPDATE_GOLDEN=1 \
+             cargo test --test golden_reports to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "report for `{name}` drifted from {}; if intentional, regenerate \
+         with UPDATE_GOLDEN=1 cargo test --test golden_reports",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_private() {
+    check_golden("private", TlbOrg::paper_private());
+}
+
+#[test]
+fn golden_monolithic() {
+    check_golden("monolithic", TlbOrg::paper_monolithic(CORES));
+}
+
+#[test]
+fn golden_distributed() {
+    check_golden("distributed", TlbOrg::paper_distributed());
+}
+
+#[test]
+fn golden_nocstar() {
+    check_golden("nocstar", TlbOrg::paper_nocstar());
+}
+
+#[test]
+fn golden_ideal() {
+    check_golden("ideal", TlbOrg::paper_ideal());
+}

@@ -1,0 +1,176 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Object-safe strategy view used by [`OneOf`] (and `prop_oneof!`).
+pub trait DynStrategy<T> {
+    /// Draws one value.
+    fn sample_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<T, S: Strategy<Value = T>> DynStrategy<T> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> T {
+        self.sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed sub-strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<Box<dyn DynStrategy<T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a choice over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn DynStrategy<T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].sample_dyn(rng)
+    }
+}
+
+/// Uniform choice among concrete values (`prop::sample::select`).
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    pub(crate) options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].clone()
+    }
+}
+
+/// `Vec` strategy (`prop::collection::vec`).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(
+            self.size.start < self.size.end,
+            "vec strategy needs a nonempty size range"
+        );
+        let span = self.size.end - self.size.start;
+        let len = self.size.start + rng.below(span.max(1));
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below_u128(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + rng.below_u128(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn just_returns_its_value() {
+        let mut rng = TestRng::deterministic("just");
+        assert_eq!(Just(7u32).sample(&mut rng), 7);
+    }
+
+    #[test]
+    fn ranges_cover_their_domain() {
+        let mut rng = TestRng::deterministic("ranges");
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[(3u64..8).sample(&mut rng) as usize - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "seen {seen:?}");
+    }
+
+    #[test]
+    fn signed_inclusive_ranges_work() {
+        let mut rng = TestRng::deterministic("signed");
+        for _ in 0..100 {
+            let v = (-3i64..=3).sample(&mut rng);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+}
