@@ -1,0 +1,4 @@
+//! Runs the fault-injection degradation sweep; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::faultsweep::run(nocstar_bench::Effort::from_env());
+}

@@ -46,6 +46,7 @@ pub(crate) fn speedup_table(
 }
 
 pub mod ablation;
+pub mod faultsweep;
 pub mod fig02;
 pub mod fig03;
 pub mod fig04;

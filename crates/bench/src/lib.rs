@@ -74,6 +74,67 @@ pub fn observability() -> &'static Observability {
     OBS.get_or_init(Observability::from_env)
 }
 
+/// Fault-injection and run-budget settings shared by every experiment
+/// binary, resolved once from the process arguments and environment:
+///
+/// * `--faults <spec>` (or `NOCSTAR_FAULTS=<spec>`) — install a
+///   deterministic [`FaultPlan`] (see its docs for the spec grammar, e.g.
+///   `"link:*@1000-5000=off; deny@0-2000; retry=8"`) into every run.
+/// * `--max-cycles <n>` (or `NOCSTAR_MAX_CYCLES=<n>`) — abort any single
+///   run that would advance past simulated cycle `n`, keeping whatever it
+///   measured (the partial report is used, with a warning on stderr).
+///
+/// A malformed spec or budget terminates the process with exit code 2 —
+/// a sweep must not silently run fault-free when faults were requested.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSettings {
+    /// The plan injected into every simulation (empty = fault-free).
+    pub plan: FaultPlan,
+    /// Hard per-run simulated-cycle budget, if any.
+    pub max_cycles: Option<u64>,
+}
+
+impl FaultSettings {
+    fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let spec = args
+            .iter()
+            .position(|a| a == "--faults")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .or_else(|| std::env::var("NOCSTAR_FAULTS").ok());
+        let plan = match spec.as_deref().map(str::parse::<FaultPlan>) {
+            None => FaultPlan::default(),
+            Some(Ok(plan)) => plan,
+            Some(Err(e)) => {
+                eprintln!("error: bad fault spec: {e}");
+                std::process::exit(2);
+            }
+        };
+        let budget = args
+            .iter()
+            .position(|a| a == "--max-cycles")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .or_else(|| std::env::var("NOCSTAR_MAX_CYCLES").ok());
+        let max_cycles = match budget.as_deref().map(str::parse::<u64>) {
+            None => None,
+            Some(Ok(n)) => Some(n),
+            Some(Err(e)) => {
+                eprintln!("error: bad --max-cycles value: {e}");
+                std::process::exit(2);
+            }
+        };
+        Self { plan, max_cycles }
+    }
+}
+
+/// The process-wide fault settings (first use resolves them).
+pub fn fault_settings() -> &'static FaultSettings {
+    static FAULTS: OnceLock<FaultSettings> = OnceLock::new();
+    FAULTS.get_or_init(FaultSettings::from_env)
+}
+
 /// Reports collected since the last [`emit`], serialized eagerly so the
 /// collector owns no simulator state.
 static COLLECTED: Mutex<Vec<Json>> = Mutex::new(Vec::new());
@@ -141,8 +202,27 @@ impl Effort {
         if obs.trace {
             config.trace_capacity = TRACE_CAPACITY;
         }
+        let faults = fault_settings();
+        if let Some(budget) = faults.max_cycles {
+            config.max_cycles = Some(budget);
+        }
         let workload = WorkloadAssignment::preset(&config, preset);
-        let report = Simulation::new(config, workload).run_measured(self.warmup, self.accesses);
+        let mut sim = Simulation::new(config, workload);
+        if !faults.plan.is_empty() {
+            sim = sim.with_faults(faults.plan.clone());
+        }
+        let report = match sim.try_run_measured(self.warmup, self.accesses) {
+            Ok(report) => report,
+            Err(abort) => {
+                eprintln!(
+                    "warning: {} run of {} aborted ({}); using the partial report",
+                    org.label(),
+                    preset.name(),
+                    abort.error
+                );
+                abort.partial
+            }
+        };
         collect_report(&report);
         report
     }

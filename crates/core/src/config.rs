@@ -183,6 +183,17 @@ pub struct SystemConfig {
     /// default) disables tracing entirely. When full, the oldest records
     /// are overwritten and counted as dropped.
     pub trace_capacity: usize,
+    /// Hard simulated-cycle budget: if set, a run that would advance past
+    /// this cycle aborts with a structured
+    /// [`CycleBudgetExceeded`](nocstar_faults::SimError::CycleBudgetExceeded)
+    /// error carrying a partial report, instead of running unbounded.
+    pub max_cycles: Option<u64>,
+    /// Livelock watchdog window: if simulated time advances this many
+    /// cycles without any memory access completing chip-wide, the run
+    /// aborts with [`Livelock`](nocstar_faults::SimError::Livelock). The
+    /// default (2 million cycles) is orders of magnitude above any legal
+    /// inter-completion gap.
+    pub livelock_window: u64,
 }
 
 impl SystemConfig {
@@ -203,6 +214,8 @@ impl SystemConfig {
             seed: 0xcafe,
             metrics: false,
             trace_capacity: 0,
+            max_cycles: None,
+            livelock_window: 2_000_000,
         }
     }
 
@@ -252,6 +265,7 @@ impl SystemConfig {
             self.l1_scale.is_finite() && self.l1_scale > 0.0,
             "bad L1 scale"
         );
+        assert!(self.livelock_window > 0, "livelock window must be nonzero");
         match self.org {
             TlbOrg::Private { entries, .. } => {
                 assert!(

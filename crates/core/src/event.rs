@@ -67,11 +67,20 @@ impl EventQueue {
     /// Pops the earliest event if it fires at or before `now`.
     pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, Event)> {
         if self.heap.peek().is_some_and(|e| e.at <= now) {
-            let e = self.heap.pop().expect("peeked");
-            Some((e.at, e.event))
+            self.heap.pop().map(|e| (e.at, e.event))
         } else {
             None
         }
+    }
+
+    /// Number of queued events (diagnostic snapshots).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
     }
 }
 

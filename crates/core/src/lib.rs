@@ -43,5 +43,6 @@ pub mod sim;
 
 pub use assignment::WorkloadAssignment;
 pub use config::{MonolithicNet, SystemConfig, TlbOrg, WalkPolicy};
+pub use nocstar_faults::{FaultPlan, SimError};
 pub use report::SimReport;
-pub use sim::Simulation;
+pub use sim::{SimAbort, Simulation};

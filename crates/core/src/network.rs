@@ -4,6 +4,7 @@
 //! private and zero-latency-ideal organizations) so the simulation loop is
 //! organization-agnostic.
 
+use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, SimError};
 use nocstar_noc::circuit::{AcquireMode, CircuitFabric};
 use nocstar_noc::mesh::MeshNoc;
 use nocstar_noc::message::{Delivery, Message, MsgKind};
@@ -62,7 +63,12 @@ impl NetworkModel {
 
     /// Sends a response over a held round-trip reservation, or as a plain
     /// message otherwise.
-    pub fn respond(&mut self, msg: Message, depart_at: Cycle) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Protocol`] if the fabric's reservation state is
+    /// violated (the reservation vanished between the check and the send).
+    pub fn respond(&mut self, msg: Message, depart_at: Cycle) -> Result<(), Box<SimError>> {
         debug_assert_eq!(msg.kind, MsgKind::TlbResponse);
         match self {
             NetworkModel::Circuit(f)
@@ -70,7 +76,10 @@ impl NetworkModel {
             {
                 f.send_response(msg, depart_at)
             }
-            _ => self.submit(depart_at, msg),
+            _ => {
+                self.submit(depart_at, msg);
+                Ok(())
+            }
         }
     }
 
@@ -113,6 +122,39 @@ impl NetworkModel {
             NetworkModel::Circuit(n) => Some(n.stats()),
         }
     }
+
+    /// Installs a fault plan into the underlying model (no-op for `None`).
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        match self {
+            NetworkModel::None => {}
+            NetworkModel::Mesh(n) => n.install_faults(plan),
+            NetworkModel::Smart(n) => n.install_faults(plan),
+            NetworkModel::Circuit(n) => n.install_faults(plan),
+        }
+    }
+
+    /// Fault-action statistics, if a network exists.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        match self {
+            NetworkModel::None => None,
+            NetworkModel::Mesh(n) => n.fault_stats(),
+            NetworkModel::Smart(n) => n.fault_stats(),
+            NetworkModel::Circuit(n) => n.fault_stats(),
+        }
+    }
+
+    /// A diagnostic snapshot of the network's in-flight state at `cycle`.
+    pub fn diagnostics(&self, cycle: Cycle) -> DiagSnapshot {
+        match self {
+            NetworkModel::None => DiagSnapshot {
+                cycle: cycle.value(),
+                ..DiagSnapshot::default()
+            },
+            NetworkModel::Mesh(n) => n.diagnostics(cycle),
+            NetworkModel::Smart(n) => n.diagnostics(cycle),
+            NetworkModel::Circuit(n) => n.diagnostics(cycle),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -133,7 +175,7 @@ mod tests {
         let mesh = MeshShape::square_for(16);
         let mut net = NetworkModel::nocstar(mesh, 16, AcquireMode::OneWay, false);
         let resp = Message::new(1, CoreId::new(3), CoreId::new(0), MsgKind::TlbResponse);
-        net.respond(resp, Cycle::new(5));
+        net.respond(resp, Cycle::new(5)).unwrap();
         // Arbitrated like any message: setup at 5, deliver at 6.
         assert!(net.advance(Cycle::new(5)).is_empty());
         let d = net.advance(Cycle::new(6));

@@ -14,6 +14,7 @@ use crate::org::OrgState;
 use crate::report::SimReport;
 use nocstar_energy::account::EnergyAccount;
 use nocstar_energy::model::{self, NocDesign};
+use nocstar_faults::{DiagSnapshot, FaultPlan, SimError};
 use nocstar_mem::hierarchy::{MemoryConfig, MemorySystem, ServicedBy};
 use nocstar_noc::mesh::MeshNoc;
 use nocstar_noc::message::{Delivery, Message, MsgKind};
@@ -66,11 +67,44 @@ pub mod trace_kind {
     /// The translation reached the requesting core
     /// (`a` = virtual address, `b` = end-to-end translation cycles).
     pub const TRANSLATION_DONE: u16 = 4;
+    /// An injected fault acted on this component
+    /// (`a` = fault class: 1 slice-offline miss, 2 walk-latency spike,
+    /// 3 storm-forced relay; `b` = class detail, e.g. the multiplier).
+    pub const FAULT: u16 = 5;
 }
 
 /// Trace component ids at or above this value denote L2 TLB structures
 /// (`SLICE_COMPONENT_BASE + structure index`); below it, core indices.
 pub const SLICE_COMPONENT_BASE: u32 = 1 << 16;
+
+/// Iterations the event loop may spend on one simulated cycle before the
+/// livelock watchdog fires: the legal same-cycle work (events due now plus
+/// one network advance) is bounded by the transaction population, which is
+/// itself bounded by the thread count — far below this.
+const SAME_CYCLE_SPIN_LIMIT: u64 = 100_000;
+
+/// A structured simulation failure: the typed error plus the partial
+/// report harvested from whatever the run completed before aborting.
+///
+/// Returned (boxed — the report is large) by [`Simulation::try_run`] and
+/// [`Simulation::try_run_measured`]. The partial report's `cycles` and
+/// per-thread counters cover the work finished before the abort, so a
+/// budget-limited sweep can still plot what it measured.
+#[derive(Debug)]
+pub struct SimAbort {
+    /// Why the run aborted.
+    pub error: SimError,
+    /// Everything measured up to the abort.
+    pub partial: SimReport,
+}
+
+impl std::fmt::Display for SimAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.error.fmt(f)
+    }
+}
+
+impl std::error::Error for SimAbort {}
 
 #[derive(Debug, Clone, Copy)]
 struct LookupTx {
@@ -142,6 +176,11 @@ pub struct Simulation {
     completed_threads: usize,
     last_completion: Cycle,
     label: String,
+    // Fault injection (empty plan = zero-cost fast paths everywhere).
+    faults: FaultPlan,
+    /// Simulated time of the last completed memory access, chip-wide —
+    /// the forward-progress marker the livelock watchdog measures against.
+    last_progress: Cycle,
     // Statistics.
     energy: EnergyAccount,
     energy_design: Option<NocDesign>,
@@ -150,6 +189,9 @@ pub struct Simulation {
     walks_llc_or_mem: Counter,
     shootdowns: Counter,
     flushes: Counter,
+    fault_slice_misses: Counter,
+    fault_walk_spikes: Counter,
+    fault_storm_relays: Counter,
     // Observability (no-ops unless enabled in the config).
     metrics: MetricsRegistry,
     trace: TraceSink,
@@ -253,6 +295,8 @@ impl Simulation {
             completed_threads: 0,
             last_completion: Cycle::ZERO,
             label,
+            faults: FaultPlan::default(),
+            last_progress: Cycle::ZERO,
             energy: EnergyAccount::default(),
             energy_design,
             translation_latency: LatencyRecorder::new(),
@@ -260,6 +304,9 @@ impl Simulation {
             walks_llc_or_mem: Counter::new(),
             shootdowns: Counter::new(),
             flushes: Counter::new(),
+            fault_slice_misses: Counter::new(),
+            fault_walk_spikes: Counter::new(),
+            fault_storm_relays: Counter::new(),
             metrics,
             trace,
             stall_slice,
@@ -273,13 +320,26 @@ impl Simulation {
         CoreId::new(thread / self.config.smt)
     }
 
+    /// Installs a deterministic fault plan: link outages/degradations and
+    /// setup denials act inside the interconnect model, walk-latency
+    /// spikes, slice-offline windows and shootdown storms act here in the
+    /// simulation loop. An empty plan is free — every fault hook
+    /// short-circuits on [`FaultPlan::is_empty`], so a run with an empty
+    /// plan is cycle-identical to one that never called this.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.net.install_faults(plan.clone());
+        self.faults = plan;
+        self
+    }
+
     /// Runs until every hardware thread completes `accesses_per_thread`
     /// memory accesses; returns the report.
     ///
     /// # Panics
     ///
-    /// Panics if the simulation deadlocks (no pending events while threads
-    /// are unfinished) — always a simulator bug.
+    /// Panics on any structured simulation failure (deadlock, livelock,
+    /// exceeded cycle budget, protocol violation) — use
+    /// [`try_run`](Self::try_run) to handle these as values.
     pub fn run(self, accesses_per_thread: u64) -> SimReport {
         self.run_measured(0, accesses_per_thread)
     }
@@ -294,7 +354,40 @@ impl Simulation {
     /// # Panics
     ///
     /// As [`run`](Self::run); additionally if `measure` is zero.
-    pub fn run_measured(mut self, warmup: u64, measure: u64) -> SimReport {
+    pub fn run_measured(self, warmup: u64, measure: u64) -> SimReport {
+        match self.try_run_measured(warmup, measure) {
+            Ok(report) => report,
+            Err(abort) => panic!("{}", abort.error),
+        }
+    }
+
+    /// [`run`](Self::run), returning structured errors instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimAbort`] (typed [`SimError`] + partial report) when
+    /// the run deadlocks, livelocks, exhausts
+    /// [`SystemConfig::max_cycles`], or violates a protocol invariant.
+    pub fn try_run(self, accesses_per_thread: u64) -> Result<SimReport, Box<SimAbort>> {
+        self.try_run_measured(0, accesses_per_thread)
+    }
+
+    /// [`run_measured`](Self::run_measured), returning structured errors
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_run`](Self::try_run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measure` is zero.
+    pub fn try_run_measured(
+        mut self,
+        warmup: u64,
+        measure: u64,
+    ) -> Result<SimReport, Box<SimAbort>> {
         assert!(measure > 0, "need a nonzero measured quota");
         let accesses_per_thread = warmup + measure;
         self.warm_target = warmup;
@@ -304,6 +397,22 @@ impl Simulation {
             self.threads[t].core = self.core_of(t);
             self.thread_next(t);
         }
+        if let Err(error) = self.event_loop() {
+            let partial = self.finish();
+            return Err(Box::new(SimAbort {
+                error: *error,
+                partial,
+            }));
+        }
+        Ok(self.finish())
+    }
+
+    /// The event loop proper: advances time event-to-event until every
+    /// thread finishes, watching for deadlock (nothing pending), livelock
+    /// (time advances but no access ever completes), and the configured
+    /// cycle budget.
+    fn event_loop(&mut self) -> Result<(), Box<SimError>> {
+        let mut same_cycle_spins: u64 = 0;
         while self.completed_threads < self.threads.len() {
             let heap_next = self.events.next_time();
             let net_next = self.net.next_activity();
@@ -311,24 +420,70 @@ impl Simulation {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
                 (None, Some(b)) => b,
-                (None, None) => panic!(
-                    "simulation stalled at {} with {} unfinished threads",
-                    self.now,
-                    self.threads.len() - self.completed_threads
-                ),
+                (None, None) => {
+                    debug_assert!(self.events.is_empty());
+                    return Err(Box::new(SimError::Deadlock {
+                        snapshot: self.snapshot(),
+                    }));
+                }
             };
             debug_assert!(next >= self.now, "time went backwards");
+            if let Some(budget) = self.config.max_cycles {
+                if next.value() > budget {
+                    return Err(Box::new(SimError::CycleBudgetExceeded {
+                        budget,
+                        snapshot: self.snapshot(),
+                    }));
+                }
+            }
+            let stalled_for = next.value().saturating_sub(self.last_progress.value());
+            if stalled_for > self.config.livelock_window {
+                return Err(Box::new(SimError::Livelock {
+                    stalled_for,
+                    snapshot: self.snapshot(),
+                }));
+            }
+            if next == self.now {
+                same_cycle_spins += 1;
+                if same_cycle_spins > SAME_CYCLE_SPIN_LIMIT {
+                    return Err(Box::new(SimError::Livelock {
+                        stalled_for,
+                        snapshot: self.snapshot(),
+                    }));
+                }
+            } else {
+                same_cycle_spins = 0;
+            }
             self.now = next;
             while let Some((_, event)) = self.events.pop_due(self.now) {
-                self.handle_event(event);
+                self.handle_event(event)?;
             }
             if self.net.next_activity().is_some_and(|a| a <= self.now) {
                 for d in self.net.advance(self.now) {
-                    self.handle_delivery(d);
+                    self.handle_delivery(d)?;
                 }
             }
         }
-        self.finish()
+        Ok(())
+    }
+
+    /// A diagnostic snapshot of the whole simulator: the network model's
+    /// in-flight view plus the event-queue, transaction and thread state
+    /// only the simulation loop knows.
+    fn snapshot(&self) -> DiagSnapshot {
+        let mut s = self.net.diagnostics(self.now);
+        s.event_queue_depth = self.events.len();
+        s.inflight_transactions = self.txs.len();
+        s.unfinished_threads = self.threads.len() - self.completed_threads;
+        s
+    }
+
+    /// A protocol-invariant violation carrying the full diagnostic state.
+    fn protocol_error(&self, context: String) -> Box<SimError> {
+        Box::new(SimError::Protocol {
+            context,
+            snapshot: self.snapshot(),
+        })
     }
 
     // ----- thread lifecycle ------------------------------------------------
@@ -399,9 +554,12 @@ impl Simulation {
         }
     }
 
-    fn handle_event(&mut self, event: Event) {
+    fn handle_event(&mut self, event: Event) -> Result<(), Box<SimError>> {
         match event {
-            Event::ThreadNext(t) => self.thread_next(t),
+            Event::ThreadNext(t) => {
+                self.thread_next(t);
+                Ok(())
+            }
             Event::Issue(t) => self.issue(t),
             Event::SliceDone(tx) => self.slice_done(tx),
             Event::WalkDone(tx) => self.walk_done(tx),
@@ -410,11 +568,12 @@ impl Simulation {
 
     // ----- the translation path --------------------------------------------
 
-    fn issue(&mut self, t: usize) {
-        let access = self.threads[t]
-            .pending
-            .take()
-            .expect("issue without access");
+    fn issue(&mut self, t: usize) -> Result<(), Box<SimError>> {
+        let Some(access) = self.threads[t].pending.take() else {
+            return Err(
+                self.protocol_error(format!("issue event for thread {t} with no pending access"))
+            );
+        };
         let core = self.threads[t].core;
         let asid = self.traces[t].asid();
         let va = access.va;
@@ -429,7 +588,7 @@ impl Simulation {
             let pa = entry.translate(va);
             let data = self.mem.access(core, pa, access.is_write);
             self.complete_access(t, self.now + data_cost(data.latency));
-            return;
+            return Ok(());
         }
         // L1 miss: go to the L2 organization. Miss detection costs the
         // one-cycle L1 lookup.
@@ -466,7 +625,7 @@ impl Simulation {
         self.txs.insert(id, TxState::Lookup(lookup));
         let local = home_tile == core || matches!(self.net, NetworkModel::None);
         if local {
-            self.schedule_slice_lookup(id, t_req);
+            self.schedule_slice_lookup(id, t_req)?;
         } else {
             self.charge_message(core, home_tile);
             self.net.submit(
@@ -474,25 +633,44 @@ impl Simulation {
                 Message::new(id, core, home_tile, MsgKind::TlbRequest),
             );
         }
+        Ok(())
     }
 
     /// Schedules the home structure's SRAM lookup starting at `at` and
-    /// performs the functional lookup.
-    fn schedule_slice_lookup(&mut self, id: u64, at: Cycle) {
+    /// performs the functional lookup. A slice inside an injected offline
+    /// window answers miss-only: the lookup reads nothing (and inserts are
+    /// dropped), but the structure stays electrically present, so the
+    /// request falls back to a page walk instead of being lost.
+    fn schedule_slice_lookup(&mut self, id: u64, at: Cycle) -> Result<(), Box<SimError>> {
         let Some(TxState::Lookup(mut lookup)) = self.txs.get(&id).copied() else {
-            panic!("slice lookup for unknown transaction {id}");
+            return Err(self.protocol_error(format!("slice lookup for unknown transaction {id}")));
         };
+        if !self.faults.is_empty() {
+            let off = self.faults.slice_offline(lookup.home_idx, at.value());
+            self.org.structure_mut(lookup.home_idx).set_offline(off);
+            if off {
+                self.fault_slice_misses.incr();
+                self.trace.emit(TraceRecord {
+                    cycle: at.value(),
+                    component: SLICE_COMPONENT_BASE + lookup.home_idx as u32,
+                    kind: trace_kind::FAULT,
+                    a: 1,
+                    b: 0,
+                });
+            }
+        }
         self.energy.add_l2_lookup(self.org.lookup_pj());
         let slice = self.org.structure_mut(lookup.home_idx);
         let done = slice.schedule_read(at);
         lookup.entry = slice.lookup(lookup.asid, lookup.vpn);
         self.txs.insert(id, TxState::Lookup(lookup));
         self.events.push(done, Event::SliceDone(id));
+        Ok(())
     }
 
-    fn slice_done(&mut self, id: u64) {
+    fn slice_done(&mut self, id: u64) -> Result<(), Box<SimError>> {
         let Some(TxState::Lookup(mut lookup)) = self.txs.get(&id).copied() else {
-            panic!("slice done for unknown transaction {id}");
+            return Err(self.protocol_error(format!("slice done for unknown transaction {id}")));
         };
         // The L2 access itself is over: close the concurrency trackers.
         if !lookup.tracker_closed {
@@ -512,17 +690,15 @@ impl Simulation {
         let local = lookup.home_tile == lookup.requester || matches!(self.net, NetworkModel::None);
         match (lookup.entry, local) {
             (Some(_), true) => {
-                let TxState::Lookup(l) = self.txs.remove(&id).expect("tx exists") else {
-                    unreachable!()
-                };
-                self.complete_translation(l);
+                let l = self.take_lookup(id)?;
+                self.complete_translation(l)?;
             }
             (Some(_), false) => {
                 self.charge_message(lookup.home_tile, lookup.requester);
                 self.net.respond(
                     Message::new(id, lookup.home_tile, lookup.requester, MsgKind::TlbResponse),
                     self.now,
-                );
+                )?;
             }
             (None, _) => {
                 // Slice miss: walk per policy.
@@ -533,27 +709,61 @@ impl Simulation {
                     } else {
                         lookup.home_tile
                     };
-                    self.start_walk(id, walk_core);
+                    self.start_walk(id, walk_core)?;
                 } else {
                     // Miss message back to the requester, which walks.
                     self.charge_message(lookup.home_tile, lookup.requester);
                     self.net.respond(
                         Message::new(id, lookup.home_tile, lookup.requester, MsgKind::TlbResponse),
                         self.now,
-                    );
+                    )?;
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes and returns a lookup transaction, or a protocol error if it
+    /// is missing or of another kind (the caller just observed it).
+    fn take_lookup(&mut self, id: u64) -> Result<LookupTx, Box<SimError>> {
+        match self.txs.remove(&id) {
+            Some(TxState::Lookup(l)) => Ok(l),
+            other => {
+                if let Some(state) = other {
+                    self.txs.insert(id, state);
+                }
+                Err(self.protocol_error(format!("transaction {id} vanished mid-completion")))
             }
         }
     }
 
-    fn start_walk(&mut self, id: u64, walk_core: CoreId) {
+    fn start_walk(&mut self, id: u64, walk_core: CoreId) -> Result<(), Box<SimError>> {
         let Some(TxState::Lookup(mut lookup)) = self.txs.get(&id).copied() else {
-            panic!("walk for unknown transaction {id}");
+            return Err(self.protocol_error(format!("walk for unknown transaction {id}")));
         };
         let start = self.now.max(self.walker_free[walk_core.index()]);
-        let result =
-            self.mem
-                .walk_with(walk_core, lookup.asid, lookup.va, self.config.walk_latency);
+        let multiplier = if self.faults.is_empty() {
+            1
+        } else {
+            self.faults.walk_multiplier(self.now.value())
+        };
+        if multiplier > 1 {
+            self.fault_walk_spikes.incr();
+            self.trace.emit(TraceRecord {
+                cycle: self.now.value(),
+                component: walk_core.index() as u32,
+                kind: trace_kind::FAULT,
+                a: 2,
+                b: multiplier,
+            });
+        }
+        let result = self.mem.walk_spiked(
+            walk_core,
+            lookup.asid,
+            lookup.va,
+            self.config.walk_latency,
+            multiplier,
+        );
         self.walks.incr();
         if result.touched_llc_or_memory() {
             self.walks_llc_or_mem.incr();
@@ -575,13 +785,18 @@ impl Simulation {
         lookup.walk_cycles += (done - self.now).value();
         self.txs.insert(id, TxState::Lookup(lookup));
         self.events.push(done, Event::WalkDone(id));
+        Ok(())
     }
 
-    fn walk_done(&mut self, id: u64) {
+    fn walk_done(&mut self, id: u64) -> Result<(), Box<SimError>> {
         let Some(TxState::Lookup(lookup)) = self.txs.get(&id).copied() else {
-            panic!("walk done for unknown transaction {id}");
+            return Err(self.protocol_error(format!("walk done for unknown transaction {id}")));
         };
-        let entry = lookup.entry.expect("walk stored the translation");
+        let Some(entry) = lookup.entry else {
+            return Err(
+                self.protocol_error(format!("walk for transaction {id} stored no translation"))
+            );
+        };
         self.trace.emit(TraceRecord {
             cycle: self.now.value(),
             component: lookup.requester.index() as u32,
@@ -606,10 +821,8 @@ impl Simulation {
                     Message::new(iid, lookup.requester, lookup.home_tile, MsgKind::Insert),
                 );
             }
-            let TxState::Lookup(l) = self.txs.remove(&id).expect("tx exists") else {
-                unreachable!()
-            };
-            self.complete_translation(l);
+            let l = self.take_lookup(id)?;
+            self.complete_translation(l)?;
         } else {
             // Walked at the remote node: insert locally, respond.
             self.insert_home(lookup.home_idx, entry);
@@ -617,12 +830,17 @@ impl Simulation {
             self.net.respond(
                 Message::new(id, lookup.home_tile, lookup.requester, MsgKind::TlbResponse),
                 self.now,
-            );
+            )?;
         }
+        Ok(())
     }
 
     fn insert_home(&mut self, home_idx: usize, entry: TlbEntry) {
         let now = self.now;
+        if !self.faults.is_empty() {
+            let off = self.faults.slice_offline(home_idx, now.value());
+            self.org.structure_mut(home_idx).set_offline(off);
+        }
         self.energy.add_l2_lookup(self.org.lookup_pj());
         let slice = self.org.structure_mut(home_idx);
         slice.schedule_write(now);
@@ -645,9 +863,14 @@ impl Simulation {
         }
     }
 
-    fn complete_translation(&mut self, lookup: LookupTx) {
+    fn complete_translation(&mut self, lookup: LookupTx) -> Result<(), Box<SimError>> {
         debug_assert!(lookup.tracker_closed, "trackers left open");
-        let entry = lookup.entry.expect("translation resolved");
+        let Some(entry) = lookup.entry else {
+            return Err(self.protocol_error(format!(
+                "translation for {} completed unresolved",
+                lookup.va
+            )));
+        };
         let total = self.now - lookup.issued_at;
         self.translation_latency.record(total);
         let core = lookup.requester.index();
@@ -669,6 +892,7 @@ impl Simulation {
         let pa = entry.translate(lookup.va);
         let data = self.mem.access(lookup.requester, pa, lookup.is_write);
         self.complete_access(lookup.thread, self.now + data_cost(data.latency));
+        Ok(())
     }
 
     fn complete_access(&mut self, t: usize, done: Cycle) {
@@ -676,6 +900,7 @@ impl Simulation {
         state.accesses_done += 1;
         state.finish_time = done;
         self.last_completion = self.last_completion.max(done);
+        self.last_progress = self.last_progress.max(self.now);
         if self.warm_target > 0 && state.accesses_done == self.warm_target {
             self.warm_cross_time[t] = done;
             self.warm_crossed += 1;
@@ -704,6 +929,22 @@ impl Simulation {
     /// Without `ipi_broadcast` (superpage promotion/demotion churn), only
     /// the initiating core relays.
     fn shootdown(&mut self, asid: Asid, vpn: VirtPageNum, initiator: CoreId, ipi_broadcast: bool) {
+        // An injected shootdown storm escalates single-relay invalidations
+        // (promotion/demotion churn) into full IPI broadcasts, flooding
+        // the leader-policy relay tree with worst-case traffic.
+        let storm_forced =
+            !ipi_broadcast && !self.faults.is_empty() && self.faults.storm_active(self.now.value());
+        let ipi_broadcast = ipi_broadcast || storm_forced;
+        if storm_forced {
+            self.fault_storm_relays.incr();
+            self.trace.emit(TraceRecord {
+                cycle: self.now.value(),
+                component: initiator.index() as u32,
+                kind: trace_kind::FAULT,
+                a: 3,
+                b: 0,
+            });
+        }
         self.shootdowns.incr();
         // IPIs reach every core: private L1s drop the stale translation.
         for l1 in &mut self.l1s {
@@ -758,27 +999,27 @@ impl Simulation {
 
     // ----- network ----------------------------------------------------------
 
-    fn handle_delivery(&mut self, d: Delivery) {
+    fn handle_delivery(&mut self, d: Delivery) -> Result<(), Box<SimError>> {
         let id = d.msg.id;
         match d.msg.kind {
-            MsgKind::TlbRequest => self.schedule_slice_lookup(id, d.at),
+            MsgKind::TlbRequest => self.schedule_slice_lookup(id, d.at)?,
             MsgKind::TlbResponse => {
                 let Some(TxState::Lookup(lookup)) = self.txs.get(&id).copied() else {
-                    panic!("response for unknown transaction {id}");
+                    return Err(
+                        self.protocol_error(format!("response for unknown transaction {id}"))
+                    );
                 };
                 if lookup.entry.is_some() {
-                    let TxState::Lookup(l) = self.txs.remove(&id).expect("tx exists") else {
-                        unreachable!()
-                    };
-                    self.complete_translation(l);
+                    let l = self.take_lookup(id)?;
+                    self.complete_translation(l)?;
                 } else {
                     // Miss reply: walk at the requesting core (Fig 17).
-                    self.start_walk(id, lookup.requester);
+                    self.start_walk(id, lookup.requester)?;
                 }
             }
             MsgKind::Insert => {
                 let Some(TxState::Insert(entry)) = self.txs.remove(&id) else {
-                    panic!("insert for unknown transaction {id}");
+                    return Err(self.protocol_error(format!("insert for unknown transaction {id}")));
                 };
                 let vpn = entry.vpn();
                 let (home_idx, _) = self.org.home_of(vpn, d.msg.dst);
@@ -792,7 +1033,9 @@ impl Simulation {
                     ..
                 }) = self.txs.remove(&id)
                 else {
-                    panic!("invalidation for unknown transaction {id}");
+                    return Err(
+                        self.protocol_error(format!("invalidation for unknown transaction {id}"))
+                    );
                 };
                 if at_leader {
                     // Arrived at the slice: invalidate (uses a write port).
@@ -805,6 +1048,7 @@ impl Simulation {
                 // direct message performs the slice invalidation.
             }
         }
+        Ok(())
     }
 
     fn charge_message(&mut self, src: CoreId, dst: CoreId) {
@@ -837,6 +1081,9 @@ impl Simulation {
         self.walks_llc_or_mem = Counter::new();
         self.shootdowns = Counter::new();
         self.flushes = Counter::new();
+        self.fault_slice_misses = Counter::new();
+        self.fault_walk_spikes = Counter::new();
+        self.fault_storm_relays = Counter::new();
         self.metrics.reset_values();
         self.trace.clear();
     }
@@ -882,6 +1129,36 @@ impl Simulation {
             // as busy_cycles / window.
             let g = self.metrics.gauge("noc.window_cycles");
             self.metrics.set_gauge(g, window);
+        }
+        // Fault accounting exists only under a non-empty plan, so
+        // fault-free reports (and their goldens) are byte-identical to
+        // builds that never heard of fault injection.
+        if !self.faults.is_empty() {
+            for (name, v) in [
+                (
+                    "faults.slice_offline_lookups",
+                    self.fault_slice_misses.get(),
+                ),
+                ("faults.walk_spikes", self.fault_walk_spikes.get()),
+                ("faults.storm_relays", self.fault_storm_relays.get()),
+            ] {
+                let c = self.metrics.counter(name);
+                self.metrics.add(c, v);
+            }
+            if let Some(fs) = self.net.fault_stats().cloned() {
+                for (name, v) in [
+                    ("faults.denied_setups", fs.denied_setups),
+                    ("faults.link_blocked", fs.link_blocked),
+                    ("faults.fallbacks", fs.fallbacks),
+                    ("faults.degraded_traversals", fs.degraded_traversals),
+                    ("faults.backoff_cycles", fs.backoff_cycles),
+                ] {
+                    let c = self.metrics.counter(name);
+                    self.metrics.add(c, v);
+                }
+                let h = self.metrics.histogram("faults.retries_per_fallback");
+                self.metrics.merge_histogram(h, &fs.retries_per_fallback);
+            }
         }
     }
 

@@ -138,7 +138,8 @@ impl Cache {
             return true;
         }
         // Miss: fill into the LRU way (invalid ways have stamp 0, so they
-        // are chosen first).
+        // are chosen first). `ways >= 1` is asserted at construction, so
+        // the min always exists; way 0 is the degenerate fallback.
         let victim = (0..self.config.ways)
             .min_by_key(|&w| {
                 if self.tags[base + w] == INVALID {
@@ -147,7 +148,7 @@ impl Cache {
                     self.stamps[base + w].max(1)
                 }
             })
-            .expect("ways > 0");
+            .unwrap_or(0);
         self.tags[base + victim] = line;
         self.stamps[base + victim] = self.clock;
         self.dirty[base + victim] = write;

@@ -69,9 +69,11 @@ impl PteCache {
             self.keys.push(key);
             self.stamps.push(self.clock);
         } else {
+            // `keys` is at capacity (> 0) on this branch; index 0 is the
+            // degenerate fallback the min can never actually take.
             let victim = (0..self.keys.len())
                 .min_by_key(|&i| self.stamps[i])
-                .expect("nonempty");
+                .unwrap_or(0);
             self.keys[victim] = key;
             self.stamps[victim] = self.clock;
         }

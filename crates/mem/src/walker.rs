@@ -73,6 +73,27 @@ impl MemorySystem {
         va: VirtAddr,
         policy: WalkLatency,
     ) -> WalkResult {
+        self.walk_spiked(core, asid, va, policy, 1)
+    }
+
+    /// [`walk_with`](Self::walk_with) under an injected DRAM/walker
+    /// latency spike: the modelled walk latency is multiplied by
+    /// `latency_multiplier` (refresh storms, thermal throttling of the
+    /// memory controller). A multiplier of `1` (or `0`) is the normal
+    /// walk. The spiked latency is what the walk-latency statistics
+    /// record — a spiked run is meant to *look* slow in its report.
+    ///
+    /// # Panics
+    ///
+    /// As [`walk`](Self::walk).
+    pub fn walk_spiked(
+        &mut self,
+        core: CoreId,
+        asid: Asid,
+        va: VirtAddr,
+        policy: WalkLatency,
+        latency_multiplier: u64,
+    ) -> WalkResult {
         let outcome = {
             let (_, table) = self.phys_and_table(asid);
             table
@@ -82,7 +103,7 @@ impl MemorySystem {
         let (vpn, ppn) = outcome
             .mapping
             .unwrap_or_else(|| panic!("walk of unmapped address {va} in {asid}"));
-        let result = match policy {
+        let mut result = match policy {
             WalkLatency::Fixed(latency) => WalkResult {
                 vpn,
                 ppn,
@@ -114,6 +135,9 @@ impl MemorySystem {
                 }
             }
         };
+        if latency_multiplier > 1 {
+            result.latency = Cycles::new(result.latency.value().saturating_mul(latency_multiplier));
+        }
         self.walk_latency.record(result.latency.value());
         let pwc_hits = result
             .pte_reads
@@ -240,6 +264,24 @@ mod tests {
         // Core 0 still misses privately (hits shared LLC).
         let cross = mem.walk(CoreId::new(0), asid, va);
         assert!(cross.pte_reads.iter().all(|s| *s == ServicedBy::Llc));
+    }
+
+    #[test]
+    fn spiked_walks_multiply_latency_and_statistics() {
+        let mut mem = system();
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x9000);
+        mem.ensure_mapped(asid, va, PageSize::Size4K);
+        let spiked = mem.walk_spiked(
+            CoreId::new(0),
+            asid,
+            va,
+            WalkLatency::Fixed(Cycles::new(20)),
+            8,
+        );
+        assert_eq!(spiked.latency, Cycles::new(160));
+        // The recorded walk-latency distribution reflects the spike.
+        assert_eq!(mem.walk_latency_histogram().max(), Some(160));
     }
 
     #[test]

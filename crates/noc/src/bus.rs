@@ -9,6 +9,7 @@
 
 use crate::message::{Delivery, Message};
 use crate::{Interconnect, NocStats};
+use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, LinkState, PendingMessage};
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::MeshShape;
 use std::collections::VecDeque;
@@ -31,13 +32,20 @@ use std::collections::VecDeque;
 /// ```
 #[derive(Debug, Clone)]
 pub struct BusNoc {
-    /// FIFO of (message, submitted_at) awaiting the bus.
-    pending: VecDeque<(Message, Cycle)>,
+    /// FIFO of (message, submitted_at, fault_attempts) awaiting the bus.
+    pending: VecDeque<(Message, Cycle, u64)>,
     /// The broadcast in flight, if any: (message, arrival, submitted_at).
     in_flight: Option<(Message, Cycle, Cycle)>,
     /// Local (same-tile) messages, delivered without touching the bus.
     local_ready: Vec<(Message, Cycle)>,
+    /// Messages escaping a faulted bus: (message, arrival, submitted_at).
+    escaped: Vec<(Message, Cycle, Cycle)>,
+    /// Earliest cycle the arbiter may grant again after a fault block
+    /// (keeps time advancing during an outage instead of busy-spinning).
+    next_try: Cycle,
     stats: NocStats,
+    faults: FaultPlan,
+    fstats: FaultStats,
 }
 
 impl BusNoc {
@@ -48,8 +56,12 @@ impl BusNoc {
             pending: VecDeque::new(),
             in_flight: None,
             local_ready: Vec::new(),
+            escaped: Vec::new(),
+            next_try: Cycle::ZERO,
             // The shared medium is modelled as a single link (index 0).
             stats: NocStats::with_links(1),
+            faults: FaultPlan::default(),
+            fstats: FaultStats::default(),
         }
     }
 }
@@ -60,7 +72,7 @@ impl Interconnect for BusNoc {
             self.local_ready.push((msg, now));
             return;
         }
-        self.pending.push_back((msg, now));
+        self.pending.push_back((msg, now, 0));
     }
 
     fn advance(&mut self, cycle: Cycle) -> Vec<Delivery> {
@@ -92,14 +104,63 @@ impl Interconnect for BusNoc {
                 out.push(Delivery { msg, at });
             }
         }
+        // Deliver messages that escaped a faulted bus.
+        if !self.escaped.is_empty() {
+            let mut kept_escapes = Vec::new();
+            for (msg, at, submitted) in self.escaped.drain(..) {
+                if at <= cycle {
+                    self.stats.delivered += 1;
+                    self.stats.latency.record(at - submitted);
+                    self.stats.retries += 1;
+                    out.push(Delivery { msg, at });
+                } else {
+                    kept_escapes.push((msg, at, submitted));
+                }
+            }
+            self.escaped = kept_escapes;
+        }
         // Grant the bus to the oldest waiter.
-        if self.in_flight.is_none() {
-            if let Some(&(msg, submitted)) = self.pending.front() {
+        if self.in_flight.is_none() && cycle >= self.next_try {
+            if let Some(&(msg, submitted, attempts)) = self.pending.front() {
                 if submitted <= cycle {
-                    self.pending.pop_front();
-                    self.in_flight = Some((msg, cycle + Cycles::ONE, submitted));
-                    self.stats.grants += 1;
-                    self.stats.link_busy[0] += 1;
+                    if !self.faults.is_empty() && self.faults.link_outage(0, cycle.value()) {
+                        // The shared medium is down this cycle: stall the
+                        // grant one cycle (so time keeps advancing) and,
+                        // past the retry budget, escape over the
+                        // point-to-point maintenance wires.
+                        self.fstats.link_blocked += 1;
+                        self.stats.retries += 1;
+                        let attempts = attempts + 1;
+                        if let Some(front) = self.pending.front_mut() {
+                            front.2 = attempts;
+                        }
+                        if self
+                            .faults
+                            .retry
+                            .max_attempts
+                            .is_some_and(|m| attempts >= u64::from(m))
+                        {
+                            self.pending.pop_front();
+                            self.fstats.fallbacks += 1;
+                            self.fstats.retries_per_fallback.record(attempts);
+                            self.escaped.push((msg, cycle + Cycles::new(2), submitted));
+                        } else {
+                            self.next_try = cycle + Cycles::ONE;
+                        }
+                    } else {
+                        self.pending.pop_front();
+                        let extra = if self.faults.is_empty() {
+                            0
+                        } else {
+                            self.faults.link_degrade(0, cycle.value())
+                        };
+                        if extra > 0 {
+                            self.fstats.degraded_traversals += 1;
+                        }
+                        self.in_flight = Some((msg, cycle + Cycles::new(1 + extra), submitted));
+                        self.stats.grants += 1;
+                        self.stats.link_busy[0] += 1 + extra;
+                    }
                 }
             }
         }
@@ -108,9 +169,13 @@ impl Interconnect for BusNoc {
 
     fn next_activity(&self) -> Option<Cycle> {
         let flight = self.in_flight.map(|(_, at, _)| at);
-        let queue = self.pending.front().map(|&(_, at)| at);
+        let queue = self
+            .pending
+            .front()
+            .map(|&(_, at, _)| at.max(self.next_try));
         let local = self.local_ready.iter().map(|&(_, at)| at).min();
-        [flight, queue, local].into_iter().flatten().min()
+        let escape = self.escaped.iter().map(|&(_, at, _)| at).min();
+        [flight, queue, local, escape].into_iter().flatten().min()
     }
 
     fn stats(&self) -> &NocStats {
@@ -119,6 +184,54 @@ impl Interconnect for BusNoc {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+        self.fstats.reset();
+    }
+
+    fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        Some(&self.fstats)
+    }
+
+    fn diagnostics(&self, cycle: Cycle) -> DiagSnapshot {
+        let now = cycle.value();
+        let mut pending_messages: Vec<PendingMessage> = self
+            .pending
+            .iter()
+            .map(|&(msg, submitted_at, attempts)| PendingMessage {
+                id: msg.id,
+                src: msg.src.index(),
+                dst: msg.dst.index(),
+                kind: format!("{:?}", msg.kind),
+                submitted_at: submitted_at.value(),
+                attempts,
+            })
+            .collect();
+        if let Some((msg, _, submitted_at)) = self.in_flight {
+            pending_messages.push(PendingMessage {
+                id: msg.id,
+                src: msg.src.index(),
+                dst: msg.dst.index(),
+                kind: format!("{:?}", msg.kind),
+                submitted_at: submitted_at.value(),
+                attempts: 0,
+            });
+        }
+        let busy_until = self.in_flight.map_or(0, |(_, at, _)| at.value());
+        DiagSnapshot {
+            cycle: now,
+            pending_messages,
+            links: vec![LinkState {
+                link: 0,
+                busy_until,
+                reserved_by: None,
+                faulted: self.faults.link_outage(0, now),
+            }],
+            active_faults: self.faults.active_at(now),
+            ..DiagSnapshot::default()
+        }
     }
 }
 
@@ -133,19 +246,28 @@ mod tests {
     }
 
     fn drain(bus: &mut BusNoc, from: Cycle) -> Vec<Delivery> {
-        let mut out = Vec::new();
-        let mut cycle = from;
-        for _ in 0..10_000 {
-            match bus.next_activity() {
-                None => return out,
-                Some(next) => {
-                    cycle = cycle.max(next);
-                    out.extend(bus.advance(cycle));
-                    cycle += Cycles::ONE;
-                }
-            }
-        }
-        panic!("bus did not quiesce");
+        crate::drain_until_idle(bus, from, 10_000).expect("bus did not quiesce")
+    }
+
+    #[test]
+    fn outage_stalls_the_bus_then_traffic_resumes() {
+        let mut bus = BusNoc::new(MeshShape::square_for(16));
+        bus.install_faults("link:0@0-30=off; retry=inf".parse().unwrap());
+        bus.submit(Cycle::ZERO, msg(1, 0, 5));
+        let d = drain(&mut bus, Cycle::ZERO);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].at >= Cycle::new(30));
+        assert!(bus.fault_stats().unwrap().link_blocked > 0);
+    }
+
+    #[test]
+    fn permanent_outage_escapes_after_retry_budget() {
+        let mut bus = BusNoc::new(MeshShape::square_for(16));
+        bus.install_faults("link:0@0-1000000=off; retry=5".parse().unwrap());
+        bus.submit(Cycle::ZERO, msg(1, 0, 5));
+        let d = drain(&mut bus, Cycle::ZERO);
+        assert_eq!(d.len(), 1, "escape path must deliver");
+        assert_eq!(bus.fault_stats().unwrap().fallbacks, 1);
     }
 
     #[test]

@@ -19,9 +19,10 @@ use crate::arbiter::PriorityRotation;
 use crate::message::{Delivery, Message, MsgKind};
 use crate::topology::{LinkId, Links};
 use crate::{Interconnect, NocStats};
+use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, LinkState, PendingMessage, SimError};
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::MeshShape;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// Link-reservation policy (Fig 16 left).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +44,9 @@ struct Pending {
     depart_at: Cycle,
     submitted_at: Cycle,
     attempts: u64,
+    /// Retries caused by an injected fault (setup denial or link outage),
+    /// counted against the plan's [`nocstar_faults::RetryPolicy`].
+    fault_attempts: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -97,6 +101,10 @@ pub struct CircuitFabric {
     /// When true, arbitration always succeeds (the `NOCSTAR (ideal)`
     /// series of Fig 15: zero contention, real setup + traversal cycles).
     contention_free: bool,
+    /// Injected fault schedule (empty by default: zero perturbation).
+    faults: FaultPlan,
+    /// Fault/recovery actions taken so far.
+    fstats: FaultStats,
 }
 
 impl CircuitFabric {
@@ -138,6 +146,8 @@ impl CircuitFabric {
             seq: 0,
             last_epoch: 0,
             contention_free: false,
+            faults: FaultPlan::default(),
+            fstats: FaultStats::default(),
         }
     }
 
@@ -180,15 +190,18 @@ impl CircuitFabric {
     /// path: no arbitration, departs at `depart_at`, and releases the
     /// reservation when it lands.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `msg.id` holds no reservation (the request must have been
-    /// submitted in [`AcquireMode::RoundTrip`] and already delivered).
-    pub fn send_response(&mut self, msg: Message, depart_at: Cycle) {
-        let reservation = self
-            .reservations
-            .remove(&msg.id)
-            .unwrap_or_else(|| panic!("no round-trip reservation for message {}", msg.id));
+    /// [`SimError::Protocol`] if `msg.id` holds no reservation (the
+    /// request must have been submitted in [`AcquireMode::RoundTrip`] and
+    /// already delivered).
+    pub fn send_response(&mut self, msg: Message, depart_at: Cycle) -> Result<(), Box<SimError>> {
+        let Some(reservation) = self.reservations.remove(&msg.id) else {
+            return Err(Box::new(SimError::Protocol {
+                context: format!("no round-trip reservation for message {}", msg.id),
+                snapshot: self.diagnostics(depart_at),
+            }));
+        };
         let arrival = depart_at + self.traversal_cycles(reservation.reverse_hops);
         self.stats.latency.record(arrival - depart_at);
         let held = (arrival - depart_at).value();
@@ -198,6 +211,7 @@ impl CircuitFabric {
             self.stats.link_busy[link.index()] += held;
         }
         self.schedule(msg, arrival);
+        Ok(())
     }
 
     /// True when a round-trip reservation for `id` is outstanding.
@@ -217,12 +231,18 @@ impl CircuitFabric {
         if self.pending.is_empty() {
             return;
         }
+        let now = cycle.value();
+        let denied = self.faults.setup_denied(now);
         // Per-link grants: each requested arbiter grants its
         // highest-priority requester, provided the link is free this cycle.
         // Ties (one core with several outstanding messages) break by
         // message id, oldest first.
         let mut grants: HashMap<LinkId, (usize, u64, usize)> = HashMap::new();
         let mut active: Vec<usize> = Vec::new();
+        // Messages whose setup failed because of an injected fault this
+        // cycle (setup denial or an outaged link on their path) rather
+        // than ordinary contention.
+        let mut fault_blocked: HashSet<usize> = HashSet::new();
         for (i, p) in self.pending.iter().enumerate() {
             if p.depart_at > cycle {
                 continue;
@@ -231,6 +251,22 @@ impl CircuitFabric {
                 break;
             }
             active.push(i);
+            let outaged = !self.faults.is_empty()
+                && p.path
+                    .iter()
+                    .chain(&p.reverse_path)
+                    .any(|l| self.faults.link_outage(l.index(), now));
+            if denied || outaged {
+                // A fault-blocked message does not even reach the link
+                // arbiters, so it cannot deny grants to healthy traffic.
+                fault_blocked.insert(i);
+                if denied {
+                    self.fstats.denied_setups += 1;
+                } else {
+                    self.fstats.link_blocked += 1;
+                }
+                continue;
+            }
             if self.contention_free {
                 continue;
             }
@@ -253,6 +289,9 @@ impl CircuitFabric {
 
         let mut proceeded: Vec<usize> = Vec::new();
         for &i in &active {
+            if fault_blocked.contains(&i) {
+                continue;
+            }
             let p = &self.pending[i];
             let all_granted = self.contention_free
                 || p.path
@@ -267,13 +306,25 @@ impl CircuitFabric {
         for &i in &proceeded {
             let p = &self.pending[i];
             let hops = p.path.len();
-            let arrival = cycle + self.traversal_cycles(hops);
+            // Injected link degradation stretches the traversal.
+            let degrade: u64 = if self.faults.is_empty() {
+                0
+            } else {
+                p.path
+                    .iter()
+                    .map(|l| self.faults.link_degrade(l.index(), now))
+                    .sum()
+            };
+            let arrival = cycle + self.traversal_cycles(hops) + Cycles::new(degrade);
             let msg = p.msg;
             let first_try = p.attempts == 0;
             self.stats.latency.record(arrival - p.submitted_at);
             let path = p.path.clone();
             let reverse_path = p.reverse_path.clone();
             let traversal = (arrival - cycle).value();
+            if degrade > 0 {
+                self.fstats.degraded_traversals += 1;
+            }
             for link in &path {
                 self.busy_until[link.index()] = arrival;
                 self.stats.link_busy[link.index()] += traversal;
@@ -299,22 +350,51 @@ impl CircuitFabric {
             self.schedule(msg, arrival);
         }
 
-        // Remove proceeded messages; bump the rest to retry next cycle.
-        let proceeded_set: std::collections::HashSet<usize> = proceeded.into_iter().collect();
-        let active_set: std::collections::HashSet<usize> = active.into_iter().collect();
+        // Remove proceeded messages; bump the rest to retry. Contention
+        // losers retry next cycle (the paper's behavior); fault-blocked
+        // messages back off deterministically and, once they exhaust the
+        // plan's retry budget, escape over the buffered multi-hop service
+        // path so no translation is ever lost.
+        let proceeded_set: HashSet<usize> = proceeded.into_iter().collect();
+        let active_set: HashSet<usize> = active.into_iter().collect();
+        let max_fault_attempts = self.faults.retry.max_attempts;
+        let mut escapes: Vec<(Message, Cycle, Cycle, u64)> = Vec::new();
         let mut kept = Vec::with_capacity(self.pending.len());
         for (i, mut p) in std::mem::take(&mut self.pending).into_iter().enumerate() {
             if proceeded_set.contains(&i) {
                 continue;
             }
             if p.depart_at <= cycle && active_set.contains(&i) {
-                p.depart_at = cycle + Cycles::ONE;
                 p.attempts += 1;
                 self.stats.retries += 1;
+                if fault_blocked.contains(&i) {
+                    p.fault_attempts += 1;
+                    if max_fault_attempts.is_some_and(|m| p.fault_attempts >= u64::from(m)) {
+                        // Escape: deliver over the (slow) buffered fallback
+                        // at ~2 cycles/hop, releasing the fast fabric. No
+                        // reservation is made, so round-trip responses to
+                        // an escaped request arbitrate as one-way traffic.
+                        let hops = p.path.len() as u64;
+                        let arrival = cycle + Cycles::new(2 * hops + 1);
+                        escapes.push((p.msg, arrival, p.submitted_at, p.fault_attempts));
+                        continue;
+                    }
+                    let wait = self.faults.backoff(p.fault_attempts, p.msg.id);
+                    p.depart_at = cycle + Cycles::new(wait);
+                    self.fstats.backoff_cycles += wait;
+                } else {
+                    p.depart_at = cycle + Cycles::ONE;
+                }
             }
             kept.push(p);
         }
         self.pending = kept;
+        for (msg, arrival, submitted_at, attempts) in escapes {
+            self.fstats.fallbacks += 1;
+            self.fstats.retries_per_fallback.record(attempts);
+            self.stats.latency.record(arrival - submitted_at);
+            self.schedule(msg, arrival);
+        }
     }
 }
 
@@ -342,6 +422,7 @@ impl Interconnect for CircuitFabric {
             depart_at: now,
             submitted_at: now,
             attempts: 0,
+            fault_attempts: 0,
         });
     }
 
@@ -353,11 +434,8 @@ impl Interconnect for CircuitFabric {
         }
         self.arbitrate(cycle);
         let mut out = Vec::new();
-        while let Some(top) = self.scheduled.peek() {
-            if top.at > cycle {
-                break;
-            }
-            let s = self.scheduled.pop().expect("peeked");
+        while self.scheduled.peek().is_some_and(|top| top.at <= cycle) {
+            let Some(s) = self.scheduled.pop() else { break };
             self.stats.delivered += 1;
             out.push(Delivery {
                 msg: s.msg,
@@ -382,6 +460,46 @@ impl Interconnect for CircuitFabric {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+        self.fstats.reset();
+    }
+
+    fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        Some(&self.fstats)
+    }
+
+    fn diagnostics(&self, cycle: Cycle) -> DiagSnapshot {
+        let now = cycle.value();
+        let pending_messages = self
+            .pending
+            .iter()
+            .map(|p| PendingMessage {
+                id: p.msg.id,
+                src: p.msg.src.index(),
+                dst: p.msg.dst.index(),
+                kind: format!("{:?}", p.msg.kind),
+                submitted_at: p.submitted_at.value(),
+                attempts: p.fault_attempts,
+            })
+            .collect();
+        let links = (0..self.links.count())
+            .map(|l| LinkState {
+                link: l,
+                busy_until: self.busy_until[l].value(),
+                reserved_by: self.reserved_by[l],
+                faulted: self.faults.link_outage(l, now),
+            })
+            .collect();
+        DiagSnapshot {
+            cycle: now,
+            pending_messages,
+            links,
+            active_faults: self.faults.active_at(now),
+            ..DiagSnapshot::default()
+        }
     }
 }
 
@@ -411,19 +529,7 @@ mod tests {
 
     /// Drives the fabric until quiescent; returns deliveries in order.
     fn run_until_idle(fabric: &mut CircuitFabric, from: Cycle) -> Vec<Delivery> {
-        let mut out = Vec::new();
-        let mut cycle = from;
-        for _ in 0..10_000 {
-            match fabric.next_activity() {
-                Some(next) => {
-                    cycle = cycle.max(next);
-                    out.extend(fabric.advance(cycle));
-                    cycle += Cycles::ONE;
-                }
-                None => return out,
-            }
-        }
-        panic!("fabric did not quiesce");
+        crate::drain_until_idle(fabric, from, 10_000).expect("fabric did not quiesce")
     }
 
     #[test]
@@ -548,7 +654,7 @@ mod tests {
 
         // Slice answers at cycle 10; response needs no arbitration.
         let resp = Message::new(1, CoreId::new(3), CoreId::new(0), MsgKind::TlbResponse);
-        f.send_response(resp, Cycle::new(10));
+        f.send_response(resp, Cycle::new(10)).unwrap();
         assert!(!f.has_reservation(1));
         let d = run_until_idle(&mut f, Cycle::new(4));
         let resp_at = d
@@ -586,10 +692,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no round-trip reservation")]
-    fn response_without_reservation_panics() {
+    fn response_without_reservation_is_a_protocol_error() {
         let mut f = fabric(16, 16);
-        f.send_response(msg(9, 1, 0), Cycle::new(5));
+        let err = f
+            .send_response(msg(9, 1, 0), Cycle::new(5))
+            .expect_err("must reject a response with no reservation");
+        assert_eq!(err.kind(), "protocol");
+        assert!(err.to_string().contains("no round-trip reservation"));
+        assert_eq!(err.snapshot().cycle, 5);
+        // The fabric stays usable after the rejected call.
+        f.submit(Cycle::new(6), msg(10, 0, 5));
+        let d = run_until_idle(&mut f, Cycle::new(6));
+        assert_eq!(d.len(), 1);
     }
 
     #[test]
@@ -616,6 +730,84 @@ mod tests {
         f.advance(Cycle::new(8));
         assert_eq!(f.next_activity(), None);
     }
+
+    #[test]
+    fn setup_denial_delays_but_never_loses_messages() {
+        let mut f = fabric(16, 16);
+        f.install_faults("deny@0-20".parse().unwrap());
+        f.submit(Cycle::ZERO, msg(1, 0, 15));
+        let d = run_until_idle(&mut f, Cycle::ZERO);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].at >= Cycle::new(20), "denied setups cannot proceed");
+        let fs = f.fault_stats().unwrap();
+        assert!(fs.denied_setups > 0);
+        assert!(fs.backoff_cycles > 0);
+    }
+
+    #[test]
+    fn degraded_links_stretch_traversal() {
+        let mut f = fabric(16, 16);
+        f.install_faults("link:*@0-100=+3".parse().unwrap());
+        f.submit(Cycle::ZERO, msg(1, 0, 1)); // 1 hop
+        let d = run_until_idle(&mut f, Cycle::ZERO);
+        // 1 traversal cycle + 3 extra on the single degraded link.
+        assert_eq!(d[0].at, Cycle::new(4));
+        assert_eq!(f.fault_stats().unwrap().degraded_traversals, 1);
+    }
+
+    #[test]
+    fn permanent_outage_escapes_after_retry_budget() {
+        let mut f = fabric(16, 16);
+        f.install_faults("link:*@0-1000000=off; retry=4".parse().unwrap());
+        f.submit(Cycle::ZERO, msg(1, 0, 15));
+        let d = run_until_idle(&mut f, Cycle::ZERO);
+        assert_eq!(d.len(), 1, "escape path must deliver the message");
+        let fs = f.fault_stats().unwrap();
+        assert_eq!(fs.fallbacks, 1);
+        assert_eq!(fs.retries_per_fallback.count(), 1);
+        assert!(fs.link_blocked >= 4);
+    }
+
+    #[test]
+    fn unbounded_retry_under_permanent_outage_livelocks_with_diagnostics() {
+        let mut f = fabric(16, 16);
+        f.install_faults("link:*@0-1000000000=off; retry=inf".parse().unwrap());
+        f.submit(Cycle::ZERO, msg(1, 0, 15));
+        let err = crate::drain_until_idle(&mut f, Cycle::ZERO, 2_000)
+            .expect_err("a wedged fabric must report livelock, not hang");
+        assert_eq!(err.kind(), "livelock");
+        let snap = err.snapshot();
+        assert_eq!(snap.pending_messages.len(), 1);
+        assert_eq!(snap.pending_messages[0].id, 1);
+        assert!(snap.pending_messages[0].attempts > 0);
+        assert!(snap.links.iter().all(|l| l.faulted));
+        assert!(!snap.active_faults.is_empty());
+    }
+
+    #[test]
+    fn empty_plan_is_identical_to_no_plan() {
+        let mut plain = fabric(16, 8);
+        let mut planned = fabric(16, 8);
+        planned.install_faults(FaultPlan::default());
+        for f in [&mut plain, &mut planned] {
+            for i in 0..12u64 {
+                f.submit(
+                    Cycle::new(i / 3),
+                    msg(i, (i % 7) as usize, (11 - i % 5) as usize),
+                );
+            }
+        }
+        let a = run_until_idle(&mut plain, Cycle::ZERO);
+        let b = run_until_idle(&mut planned, Cycle::ZERO);
+        let key = |d: &Delivery| (d.at, d.msg.id);
+        assert_eq!(
+            a.iter().map(key).collect::<Vec<_>>(),
+            b.iter().map(key).collect::<Vec<_>>()
+        );
+        assert!(planned.fault_stats().unwrap().is_quiet());
+    }
+
+    use nocstar_faults::FaultPlan;
 
     proptest! {
         /// No message is ever lost or deadlocked: every submission is
@@ -646,7 +838,13 @@ mod tests {
                                     let resp = Message::new(
                                         d.msg.id, d.msg.dst, d.msg.src, MsgKind::TlbResponse,
                                     );
-                                    f.send_response(resp, d.at + Cycles::ONE);
+                                    if f.has_reservation(d.msg.id) {
+                                        f.send_response(resp, d.at + Cycles::ONE).unwrap();
+                                    } else {
+                                        // The request escaped the fast fabric
+                                        // (fault fallback): answer one-way.
+                                        f.submit(d.at + Cycles::ONE, resp);
+                                    }
                                 }
                             }
                         }

@@ -62,8 +62,9 @@ pub use mesh::MeshNoc;
 pub use message::{Delivery, Message, MsgKind};
 pub use smart::SmartNoc;
 
+use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, SimError};
 use nocstar_stats::latency::LatencyRecorder;
-use nocstar_types::time::Cycle;
+use nocstar_types::time::{Cycle, Cycles};
 
 /// Cycle-batch interface shared by every network model.
 ///
@@ -89,6 +90,59 @@ pub trait Interconnect {
 
     /// Clears aggregate statistics (e.g. after simulation warmup).
     fn reset_stats(&mut self);
+
+    /// Installs a deterministic fault plan. Models that do not support
+    /// injection silently ignore the plan (the default).
+    fn install_faults(&mut self, _plan: FaultPlan) {}
+
+    /// Fault/recovery statistics, if this model tracks them.
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        None
+    }
+
+    /// A diagnostic snapshot of the network's internal state at `cycle`
+    /// (pending messages, per-link occupancy). The default reports only
+    /// the cycle; fault-aware models override with full state.
+    fn diagnostics(&self, cycle: Cycle) -> DiagSnapshot {
+        DiagSnapshot {
+            cycle: cycle.value(),
+            ..DiagSnapshot::default()
+        }
+    }
+}
+
+/// Drives a network until it quiesces, collecting deliveries in arrival
+/// order. Returns [`SimError::Livelock`] with the model's diagnostic
+/// snapshot if the network is still active after `max_iters` advance
+/// calls — the structured replacement for the old
+/// `panic!("... did not quiesce")` test helpers.
+///
+/// # Errors
+///
+/// [`SimError::Livelock`] when the network does not quiesce in time.
+pub fn drain_until_idle<N: Interconnect + ?Sized>(
+    noc: &mut N,
+    from: Cycle,
+    max_iters: u64,
+) -> Result<Vec<Delivery>, Box<SimError>> {
+    let mut out = Vec::new();
+    let mut cycle = from;
+    for _ in 0..max_iters {
+        match noc.next_activity() {
+            None => return Ok(out),
+            Some(next) => {
+                cycle = cycle.max(next);
+                out.extend(noc.advance(cycle));
+                cycle += Cycles::ONE;
+            }
+        }
+    }
+    let mut snapshot = noc.diagnostics(cycle);
+    snapshot.pending_messages.truncate(32);
+    Err(Box::new(SimError::Livelock {
+        stalled_for: cycle.value().saturating_sub(from.value()),
+        snapshot,
+    }))
 }
 
 /// Statistics common to all network models.

@@ -11,6 +11,7 @@
 use crate::message::{Delivery, Message};
 use crate::topology::Links;
 use crate::{Interconnect, NocStats};
+use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, LinkState, PendingMessage};
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::{Coord, MeshShape};
 use std::collections::{BinaryHeap, HashMap};
@@ -26,6 +27,7 @@ struct Flight {
     ready_at: Cycle,
     submitted_at: Cycle,
     stalled: bool,
+    fault_attempts: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +74,8 @@ pub struct MeshNoc {
     scheduled: BinaryHeap<Scheduled>,
     seq: u64,
     stats: NocStats,
+    faults: FaultPlan,
+    fstats: FaultStats,
 }
 
 impl MeshNoc {
@@ -85,6 +89,8 @@ impl MeshNoc {
             flights: Vec::new(),
             scheduled: BinaryHeap::new(),
             seq: 0,
+            faults: FaultPlan::default(),
+            fstats: FaultStats::default(),
         }
     }
 
@@ -124,12 +130,37 @@ impl MeshNoc {
 
         let mut claimed: HashMap<usize, ()> = HashMap::new();
         let mut done: Vec<usize> = Vec::new();
+        let now = cycle.value();
         for &i in &order {
             let (from, to) = {
                 let f = &self.flights[i];
                 (f.tiles[f.pos], f.tiles[f.pos + 1])
             };
             let link = self.links.link_between(from, to).index();
+            if !self.faults.is_empty() && self.faults.link_outage(link, now) {
+                // The next hop is down: back off, then escape over the
+                // maintenance path once the retry budget is spent.
+                let max = self.faults.retry.max_attempts;
+                let f = &mut self.flights[i];
+                f.fault_attempts += 1;
+                f.stalled = true;
+                self.stats.retries += 1;
+                self.fstats.link_blocked += 1;
+                if max.is_some_and(|m| f.fault_attempts >= u64::from(m)) {
+                    let remaining = (f.tiles.len() - 1 - f.pos) as u64;
+                    let arrival = cycle + Cycles::new(CYCLES_PER_HOP * remaining + 1);
+                    let (msg, submitted_at, attempts) = (f.msg, f.submitted_at, f.fault_attempts);
+                    done.push(i);
+                    self.fstats.fallbacks += 1;
+                    self.fstats.retries_per_fallback.record(attempts);
+                    self.schedule(msg, arrival, submitted_at, true);
+                } else {
+                    let wait = self.faults.backoff(f.fault_attempts, f.msg.id);
+                    f.ready_at = cycle + Cycles::new(wait);
+                    self.fstats.backoff_cycles += wait;
+                }
+                continue;
+            }
             if claimed.contains_key(&link) {
                 let f = &mut self.flights[i];
                 f.ready_at = cycle + Cycles::ONE;
@@ -138,17 +169,25 @@ impl MeshNoc {
                 continue;
             }
             claimed.insert(link, ());
+            let extra = if self.faults.is_empty() {
+                0
+            } else {
+                self.faults.link_degrade(link, now)
+            };
+            if extra > 0 {
+                self.fstats.degraded_traversals += 1;
+            }
             self.stats.grants += 1;
-            self.stats.link_busy[link] += CYCLES_PER_HOP;
+            self.stats.link_busy[link] += CYCLES_PER_HOP + extra;
             let f = &mut self.flights[i];
             f.pos += 1;
             if f.pos + 1 == f.tiles.len() {
-                let arrival = cycle + Cycles::new(CYCLES_PER_HOP);
+                let arrival = cycle + Cycles::new(CYCLES_PER_HOP + extra);
                 let (msg, submitted_at, stalled) = (f.msg, f.submitted_at, f.stalled);
                 done.push(i);
                 self.schedule(msg, arrival, submitted_at, stalled);
             } else {
-                f.ready_at = cycle + Cycles::new(CYCLES_PER_HOP);
+                f.ready_at = cycle + Cycles::new(CYCLES_PER_HOP + extra);
             }
         }
         let mut index = 0usize;
@@ -167,8 +206,39 @@ impl Interconnect for MeshNoc {
             return;
         }
         if self.contention_free {
-            let hops = self.links.mesh().hops(msg.src, msg.dst) as u64;
-            self.schedule(msg, now + Cycles::new(hops * CYCLES_PER_HOP), now, false);
+            if self.faults.is_empty() {
+                let hops = self.links.mesh().hops(msg.src, msg.dst) as u64;
+                self.schedule(msg, now + Cycles::new(hops * CYCLES_PER_HOP), now, false);
+                return;
+            }
+            // Even the idealized mesh honors injected faults: departure
+            // waits out any outage on the path, and degraded links add
+            // their per-traversal penalty.
+            let tiles: Vec<Coord> = self.links.mesh().xy_path(msg.src, msg.dst).collect();
+            let hops = tiles.len().saturating_sub(1) as u64;
+            let mut start = now.value();
+            let mut extra = 0u64;
+            let mut blocked = false;
+            let mut degraded = false;
+            for pair in tiles.windows(2) {
+                let link = self.links.link_between(pair[0], pair[1]).index();
+                let clear = self.faults.outage_clear_at(link, start);
+                if clear > start {
+                    blocked = true;
+                    start = clear;
+                }
+                let d = self.faults.link_degrade(link, start);
+                degraded |= d > 0;
+                extra += d;
+            }
+            if blocked {
+                self.fstats.link_blocked += 1;
+            }
+            if degraded {
+                self.fstats.degraded_traversals += 1;
+            }
+            let arrival = Cycle::new(start) + Cycles::new(hops * CYCLES_PER_HOP + extra);
+            self.schedule(msg, arrival, now, blocked);
             return;
         }
         let tiles: Vec<Coord> = self.links.mesh().xy_path(msg.src, msg.dst).collect();
@@ -179,17 +249,15 @@ impl Interconnect for MeshNoc {
             ready_at: now,
             submitted_at: now,
             stalled: false,
+            fault_attempts: 0,
         });
     }
 
     fn advance(&mut self, cycle: Cycle) -> Vec<Delivery> {
         self.step_flights(cycle);
         let mut out = Vec::new();
-        while let Some(top) = self.scheduled.peek() {
-            if top.at > cycle {
-                break;
-            }
-            let s = self.scheduled.pop().expect("peeked");
+        while self.scheduled.peek().is_some_and(|top| top.at <= cycle) {
+            let Some(s) = self.scheduled.pop() else { break };
             self.stats.delivered += 1;
             self.stats.latency.record(s.at - s.submitted_at);
             if !s.stalled {
@@ -218,6 +286,46 @@ impl Interconnect for MeshNoc {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+        self.fstats.reset();
+    }
+
+    fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        Some(&self.fstats)
+    }
+
+    fn diagnostics(&self, cycle: Cycle) -> DiagSnapshot {
+        let now = cycle.value();
+        let pending_messages = self
+            .flights
+            .iter()
+            .map(|f| PendingMessage {
+                id: f.msg.id,
+                src: f.msg.src.index(),
+                dst: f.msg.dst.index(),
+                kind: format!("{:?}", f.msg.kind),
+                submitted_at: f.submitted_at.value(),
+                attempts: f.fault_attempts,
+            })
+            .collect();
+        let links = (0..self.links.count())
+            .map(|l| LinkState {
+                link: l,
+                busy_until: 0,
+                reserved_by: None,
+                faulted: self.faults.link_outage(l, now),
+            })
+            .collect();
+        DiagSnapshot {
+            cycle: now,
+            pending_messages,
+            links,
+            active_faults: self.faults.active_at(now),
+            ..DiagSnapshot::default()
+        }
     }
 }
 
@@ -232,19 +340,30 @@ mod tests {
     }
 
     fn drain(noc: &mut MeshNoc) -> Vec<Delivery> {
-        let mut out = Vec::new();
-        let mut cycle = Cycle::ZERO;
-        for _ in 0..100_000 {
-            match noc.next_activity() {
-                None => return out,
-                Some(next) => {
-                    cycle = cycle.max(next);
-                    out.extend(noc.advance(cycle));
-                    cycle += Cycles::ONE;
-                }
-            }
-        }
-        panic!("mesh did not quiesce");
+        crate::drain_until_idle(noc, Cycle::ZERO, 100_000).expect("mesh did not quiesce")
+    }
+
+    #[test]
+    fn contended_outage_delays_and_escape_delivers() {
+        let mut noc = MeshNoc::contended(MeshShape::new(4, 1));
+        noc.install_faults("link:*@0-1000000=off; retry=3".parse().unwrap());
+        noc.submit(Cycle::ZERO, msg(1, 0, 3));
+        let d = drain(&mut noc);
+        assert_eq!(d.len(), 1, "escape path must deliver");
+        assert_eq!(noc.fault_stats().unwrap().fallbacks, 1);
+    }
+
+    #[test]
+    fn contention_free_waits_out_outages_and_pays_degradation() {
+        let mut noc = MeshNoc::contention_free(MeshShape::new(4, 1));
+        noc.install_faults("link:*@0-40=off; link:*@0-100=+1".parse().unwrap());
+        noc.submit(Cycle::ZERO, msg(1, 0, 3)); // 3 hops
+        let d = drain(&mut noc);
+        // Departs at 40 (outage clear), 3 hops x 2 cycles + 3 x 1 extra.
+        assert_eq!(d[0].at, Cycle::new(40 + 6 + 3));
+        let fs = noc.fault_stats().unwrap();
+        assert_eq!(fs.link_blocked, 1);
+        assert_eq!(fs.degraded_traversals, 1);
     }
 
     #[test]

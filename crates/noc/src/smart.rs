@@ -10,6 +10,7 @@
 use crate::message::{Delivery, Message};
 use crate::topology::Links;
 use crate::{Interconnect, NocStats};
+use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, LinkState, PendingMessage};
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::{Coord, MeshShape};
 use std::collections::{BinaryHeap, HashSet};
@@ -23,6 +24,7 @@ struct Flight {
     submitted_at: Cycle,
     injected: bool,
     stalled: bool,
+    fault_attempts: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +75,8 @@ pub struct SmartNoc {
     scheduled: BinaryHeap<Scheduled>,
     seq: u64,
     stats: NocStats,
+    faults: FaultPlan,
+    fstats: FaultStats,
 }
 
 impl SmartNoc {
@@ -91,6 +95,8 @@ impl SmartNoc {
             flights: Vec::new(),
             scheduled: BinaryHeap::new(),
             seq: 0,
+            faults: FaultPlan::default(),
+            fstats: FaultStats::default(),
         }
     }
 
@@ -130,12 +136,17 @@ impl SmartNoc {
                 f.ready_at = cycle + Cycles::ONE;
                 continue;
             }
-            // Claim as many consecutive free links as possible, up to HPCmax.
-            let (run, links_to_claim) = {
+            // Claim as many consecutive free, non-outaged links as
+            // possible, up to HPCmax. Degraded links stay claimable but
+            // add their penalty to this cycle's run.
+            let now = cycle.value();
+            let (run, links_to_claim, penalty, first_outaged) = {
                 let f = &self.flights[i];
                 let remaining = f.tiles.len() - 1 - f.pos;
                 let mut run = 0usize;
                 let mut to_claim = Vec::new();
+                let mut penalty = 0u64;
+                let mut first_outaged = false;
                 while run < remaining && run < self.hpc_max {
                     let from = f.tiles[f.pos + run];
                     let to = f.tiles[f.pos + run + 1];
@@ -143,13 +154,46 @@ impl SmartNoc {
                     if claimed.contains(&link) {
                         break;
                     }
+                    if !self.faults.is_empty() && self.faults.link_outage(link, now) {
+                        first_outaged = run == 0;
+                        break;
+                    }
+                    if !self.faults.is_empty() {
+                        penalty += self.faults.link_degrade(link, now);
+                    }
                     to_claim.push(link);
                     run += 1;
                 }
-                (run, to_claim)
+                (run, to_claim, penalty, first_outaged)
             };
-            let f = &mut self.flights[i];
+            if run == 0 && first_outaged {
+                // Blocked by an injected outage, not by traffic: back off
+                // deterministically, and once the retry budget is spent
+                // escape over the buffered service path so the flit is
+                // never lost.
+                let max = self.faults.retry.max_attempts;
+                let f = &mut self.flights[i];
+                f.fault_attempts += 1;
+                f.stalled = true;
+                self.stats.retries += 1;
+                self.fstats.link_blocked += 1;
+                if max.is_some_and(|m| f.fault_attempts >= u64::from(m)) {
+                    let remaining = (f.tiles.len() - 1 - f.pos) as u64;
+                    let arrival = cycle + Cycles::new(2 * remaining + 1);
+                    let (msg, submitted_at, attempts) = (f.msg, f.submitted_at, f.fault_attempts);
+                    done.push(i);
+                    self.fstats.fallbacks += 1;
+                    self.fstats.retries_per_fallback.record(attempts);
+                    self.schedule(msg, arrival, submitted_at, true);
+                } else {
+                    let wait = self.faults.backoff(f.fault_attempts, f.msg.id);
+                    f.ready_at = cycle + Cycles::new(wait);
+                    self.fstats.backoff_cycles += wait;
+                }
+                continue;
+            }
             if run == 0 {
+                let f = &mut self.flights[i];
                 f.ready_at = cycle + Cycles::ONE;
                 f.stalled = true;
                 self.stats.retries += 1;
@@ -160,16 +204,19 @@ impl SmartNoc {
             }
             self.stats.grants += run as u64;
             claimed.extend(links_to_claim);
+            if penalty > 0 {
+                self.fstats.degraded_traversals += 1;
+            }
             let f = &mut self.flights[i];
             f.pos += run;
             if f.pos + 1 == f.tiles.len() {
-                let arrival = cycle + Cycles::ONE;
+                let arrival = cycle + Cycles::ONE + Cycles::new(penalty);
                 let (msg, submitted_at, stalled) = (f.msg, f.submitted_at, f.stalled);
                 done.push(i);
                 self.schedule(msg, arrival, submitted_at, stalled);
             } else {
                 f.stalled = true; // latched mid-path
-                f.ready_at = cycle + Cycles::ONE;
+                f.ready_at = cycle + Cycles::ONE + Cycles::new(penalty);
             }
         }
         let mut index = 0usize;
@@ -196,17 +243,15 @@ impl Interconnect for SmartNoc {
             submitted_at: now,
             injected: false,
             stalled: false,
+            fault_attempts: 0,
         });
     }
 
     fn advance(&mut self, cycle: Cycle) -> Vec<Delivery> {
         self.step_flights(cycle);
         let mut out = Vec::new();
-        while let Some(top) = self.scheduled.peek() {
-            if top.at > cycle {
-                break;
-            }
-            let s = self.scheduled.pop().expect("peeked");
+        while self.scheduled.peek().is_some_and(|top| top.at <= cycle) {
+            let Some(s) = self.scheduled.pop() else { break };
             self.stats.delivered += 1;
             self.stats.latency.record(s.at - s.submitted_at);
             if !s.stalled {
@@ -235,6 +280,46 @@ impl Interconnect for SmartNoc {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+        self.fstats.reset();
+    }
+
+    fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        Some(&self.fstats)
+    }
+
+    fn diagnostics(&self, cycle: Cycle) -> DiagSnapshot {
+        let now = cycle.value();
+        let pending_messages = self
+            .flights
+            .iter()
+            .map(|f| PendingMessage {
+                id: f.msg.id,
+                src: f.msg.src.index(),
+                dst: f.msg.dst.index(),
+                kind: format!("{:?}", f.msg.kind),
+                submitted_at: f.submitted_at.value(),
+                attempts: f.fault_attempts,
+            })
+            .collect();
+        let links = (0..self.links.count())
+            .map(|l| LinkState {
+                link: l,
+                busy_until: 0,
+                reserved_by: None,
+                faulted: self.faults.link_outage(l, now),
+            })
+            .collect();
+        DiagSnapshot {
+            cycle: now,
+            pending_messages,
+            links,
+            active_faults: self.faults.active_at(now),
+            ..DiagSnapshot::default()
+        }
     }
 }
 
@@ -249,19 +334,28 @@ mod tests {
     }
 
     fn drain(noc: &mut SmartNoc) -> Vec<Delivery> {
-        let mut out = Vec::new();
-        let mut cycle = Cycle::ZERO;
-        for _ in 0..100_000 {
-            match noc.next_activity() {
-                None => return out,
-                Some(next) => {
-                    cycle = cycle.max(next);
-                    out.extend(noc.advance(cycle));
-                    cycle += Cycles::ONE;
-                }
-            }
-        }
-        panic!("smart did not quiesce");
+        crate::drain_until_idle(noc, Cycle::ZERO, 100_000).expect("smart did not quiesce")
+    }
+
+    #[test]
+    fn outage_blocks_then_recovers_without_losing_the_flit() {
+        let mut noc = SmartNoc::new(MeshShape::new(4, 1), 8);
+        noc.install_faults("link:*@0-50=off".parse().unwrap());
+        noc.submit(Cycle::ZERO, msg(1, 0, 3));
+        let d = drain(&mut noc);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].at >= Cycle::new(50));
+        assert!(noc.fault_stats().unwrap().link_blocked > 0);
+    }
+
+    #[test]
+    fn permanent_outage_escapes_after_retry_budget() {
+        let mut noc = SmartNoc::new(MeshShape::new(4, 1), 8);
+        noc.install_faults("link:*@0-1000000=off; retry=3".parse().unwrap());
+        noc.submit(Cycle::ZERO, msg(1, 0, 3));
+        let d = drain(&mut noc);
+        assert_eq!(d.len(), 1, "escape path must deliver the flit");
+        assert_eq!(noc.fault_stats().unwrap().fallbacks, 1);
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub struct TlbSlice {
     write_free: Vec<Cycle>,
     queue_delay: LatencyRecorder,
     queue_wait: Log2Histogram,
+    /// Degraded miss-only mode (fault injection): lookups miss and
+    /// inserts are dropped, but invalidations still apply so the contents
+    /// stay coherent for when the slice comes back online.
+    offline: bool,
 }
 
 impl TlbSlice {
@@ -97,7 +101,22 @@ impl TlbSlice {
             write_free: vec![Cycle::ZERO; ports.write],
             queue_delay: LatencyRecorder::new(),
             queue_wait: Log2Histogram::new(),
+            offline: false,
         }
+    }
+
+    /// Puts the slice in (or takes it out of) degraded miss-only mode:
+    /// while offline, [`lookup`](Self::lookup)/[`lookup_addr`](Self::lookup_addr)
+    /// miss without touching the array and [`insert`](Self::insert) drops
+    /// the entry. Invalidations and flushes still apply, preserving
+    /// shootdown correctness across the outage.
+    pub fn set_offline(&mut self, offline: bool) {
+        self.offline = offline;
+    }
+
+    /// Whether the slice is in degraded miss-only mode.
+    pub fn is_offline(&self) -> bool {
+        self.offline
     }
 
     /// Sets the content array's index divisor (see
@@ -151,8 +170,13 @@ impl TlbSlice {
         issue + latency
     }
 
-    /// Functional lookup (content + recency + hit/miss stats).
+    /// Functional lookup (content + recency + hit/miss stats). Always a
+    /// miss while the slice is offline (the array is not consulted, so
+    /// its hit/miss statistics are untouched by degraded-mode probes).
     pub fn lookup(&mut self, asid: Asid, vpn: VirtPageNum) -> Option<TlbEntry> {
+        if self.offline {
+            return None;
+        }
         self.array.lookup(asid, vpn)
     }
 
@@ -160,6 +184,9 @@ impl TlbSlice {
     /// the slice does not know the backing page size in advance.
     pub fn lookup_addr(&mut self, asid: Asid, va: VirtAddr) -> Option<TlbEntry> {
         use nocstar_types::PageSize;
+        if self.offline {
+            return None;
+        }
         for size in [PageSize::Size1G, PageSize::Size2M] {
             if self.array.probe(asid, va.page_number(size)).is_some() {
                 return self.array.lookup(asid, va.page_number(size));
@@ -168,8 +195,12 @@ impl TlbSlice {
         self.array.lookup(asid, va.page_number(PageSize::Size4K))
     }
 
-    /// Functional insert; returns the evicted entry if any.
+    /// Functional insert; returns the evicted entry if any. Dropped (no
+    /// eviction, no array update) while the slice is offline.
     pub fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
+        if self.offline {
+            return None;
+        }
         self.array.insert(entry)
     }
 
@@ -299,6 +330,33 @@ mod tests {
         assert_eq!(s.array().occupancy(), 1);
         assert!(s.invalidate(asid, vpn));
         assert_eq!(s.array().occupancy(), 0);
+    }
+
+    #[test]
+    fn offline_slice_misses_drops_inserts_but_still_invalidates() {
+        let mut s = slice();
+        let asid = Asid::new(1);
+        let vpn = VirtPageNum::new(10, PageSize::Size4K);
+        let entry = TlbEntry::new(asid, vpn, PhysPageNum::new(1, PageSize::Size4K));
+        s.insert(entry);
+        let hits_before = s.array().stats().hits();
+
+        s.set_offline(true);
+        assert!(s.is_offline());
+        assert!(s.lookup(asid, vpn).is_none(), "offline lookups miss");
+        assert_eq!(
+            s.array().stats().hits(),
+            hits_before,
+            "degraded probes must not touch array stats"
+        );
+        assert!(s.insert(entry).is_none(), "offline inserts are dropped");
+        assert!(s.invalidate(asid, vpn), "invalidations still apply");
+
+        s.set_offline(false);
+        assert!(
+            s.lookup(asid, vpn).is_none(),
+            "the invalidation during the outage must stick"
+        );
     }
 
     #[test]

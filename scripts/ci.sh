@@ -13,6 +13,16 @@ cargo test -q --workspace
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (no unwrap/expect in sim hot crates) =="
+# Non-test code in the simulation core must degrade through SimError, not
+# panic; --lib keeps #[cfg(test)] modules out of scope.
+cargo clippy --no-deps -p nocstar-core -p nocstar-mem -p nocstar-noc --lib -- \
+  -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+echo "== chaos smoke (fault injection) =="
+cargo test -q --test chaos
+cargo run --release -q -p nocstar-bench --bin faultsweep -- --quick
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 

@@ -48,6 +48,7 @@
 //! | [`tlb`] | Set-associative TLBs, L1/L2 structures, SRAM model, prefetch, shootdowns |
 //! | [`mem`] | Caches, physical memory, page tables, the page walker |
 //! | [`noc`] | Mesh, SMART, and the NOCSTAR circuit-switched fabric |
+//! | [`faults`] | Deterministic fault injection, structured sim errors, diagnostic snapshots |
 //! | [`energy`] | Event-based energy/area model (Fig 9, Fig 11b) |
 //! | [`workloads`] | The 11 paper workloads, mixes, stress microbenchmarks |
 //! | [`core`] | The full-system simulator and its configuration |
@@ -57,6 +58,7 @@
 
 pub use nocstar_core as core;
 pub use nocstar_energy as energy;
+pub use nocstar_faults as faults;
 pub use nocstar_mem as mem;
 pub use nocstar_noc as noc;
 pub use nocstar_stats as stats;
@@ -69,7 +71,8 @@ pub mod prelude {
     pub use nocstar_core::assignment::WorkloadAssignment;
     pub use nocstar_core::config::{MonolithicNet, SystemConfig, TlbOrg, WalkPolicy};
     pub use nocstar_core::report::SimReport;
-    pub use nocstar_core::sim::Simulation;
+    pub use nocstar_core::sim::{SimAbort, Simulation};
+    pub use nocstar_faults::{FaultPlan, SimError};
     pub use nocstar_mem::walker::WalkLatency;
     pub use nocstar_noc::circuit::AcquireMode;
     pub use nocstar_stats::summary::Summary;

@@ -55,6 +55,61 @@ fn leader_policies_all_drain_shootdowns() {
 }
 
 #[test]
+fn shootdown_storms_survive_degraded_links_under_every_leader_policy() {
+    // Fault-injected IPI storms (`storm@` forces full broadcasts) on top of
+    // degraded links, across all three shared organizations and all three
+    // leader policies: the shootdown protocol must still drain every
+    // invalidation and complete the full access quota.
+    let plan: FaultPlan = "storm@0-10000000; link:*@0-10000000=+2"
+        .parse()
+        .expect("storm plan");
+    for org in [
+        TlbOrg::paper_monolithic(8),
+        TlbOrg::paper_distributed(),
+        TlbOrg::paper_nocstar(),
+    ] {
+        for leader in [
+            LeaderPolicy::EveryCore,
+            LeaderPolicy::PerGroup(4),
+            LeaderPolicy::Single,
+        ] {
+            let mut config = SystemConfig::new(8, org);
+            config.leader_policy = leader;
+            let mut spec = Preset::Redis.spec();
+            spec.remaps_per_million = 5_000.0;
+            let assignment = || WorkloadAssignment::homogeneous(&config, spec);
+            let clean = Simulation::new(config, assignment()).run(1_500);
+            let stormy = Simulation::new(config, assignment())
+                .with_faults(plan.clone())
+                .run(1_500);
+            assert_eq!(
+                stormy.accesses,
+                8 * 1_500,
+                "{} / {:?}: lost accesses under storm",
+                stormy.org_label,
+                leader
+            );
+            assert!(
+                stormy.shootdowns >= clean.shootdowns,
+                "{} / {:?}: storm relayed fewer shootdowns ({} < {})",
+                stormy.org_label,
+                leader,
+                stormy.shootdowns,
+                clean.shootdowns
+            );
+            assert!(
+                stormy.cycles >= clean.cycles,
+                "{} / {:?}: degraded storm run was faster ({} < {})",
+                stormy.org_label,
+                leader,
+                stormy.cycles,
+                clean.cycles
+            );
+        }
+    }
+}
+
+#[test]
 fn storm_workloads_flush_and_invalidate() {
     let config = SystemConfig::new(8, TlbOrg::paper_nocstar());
     let workload = WorkloadAssignment::storm(&config, Preset::Canneal, 500, 700);
