@@ -29,7 +29,7 @@ use nocstar_tlb::shootdown::Invalidation;
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::{Asid, CoreId, MeshShape, VirtAddr, VirtPageNum};
 use nocstar_workloads::trace::{MemAccess, TraceEvent, TraceSource};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Cycles a thread loses to a context-switch trap.
 const CTX_SWITCH_COST: Cycles = Cycles::new(200);
@@ -166,7 +166,7 @@ pub struct Simulation {
     threads: Vec<ThreadState>,
     walker_free: Vec<Cycle>,
     events: EventQueue,
-    txs: HashMap<u64, TxState>,
+    txs: BTreeMap<u64, TxState>,
     next_tx: u64,
     now: Cycle,
     target: u64,
@@ -285,7 +285,7 @@ impl Simulation {
             ],
             walker_free: vec![Cycle::ZERO; config.cores],
             events: EventQueue::new(),
-            txs: HashMap::new(),
+            txs: BTreeMap::new(),
             next_tx: 0,
             now: Cycle::ZERO,
             target: 0,

@@ -234,6 +234,7 @@ fn format_u64(mut v: u64, buf: &mut [u8; 20]) -> &str {
         }
     }
     // The buffer only ever holds ASCII digits.
+    // nocstar-lint: allow(sim-unwrap): the buffer holds only ASCII digits written above
     std::str::from_utf8(&buf[i..]).expect("digits are ASCII")
 }
 

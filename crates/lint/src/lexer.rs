@@ -1,0 +1,426 @@
+//! A minimal Rust token lexer.
+//!
+//! The build environment vendors no `syn`, so the analyzer works on a
+//! token stream instead of a real AST. The lexer's job is to make that
+//! sound: rule patterns must never match inside string literals, char
+//! literals, or comments, and suppression comments must be recoverable
+//! with their line numbers. Everything a rule matches on is a [`Tok`];
+//! everything a suppression lives in is a [`Comment`].
+//!
+//! Coverage: line/doc comments, nested block comments, string literals
+//! (plain, raw `r#"…"#`, byte, C variants), char literals vs. lifetimes,
+//! numeric literals, identifiers (including raw `r#ident`), and
+//! single-character punctuation. Multi-character operators (`::`, `=>`,
+//! `+=`, …) are emitted as individual punctuation tokens; rules match the
+//! resulting sequences, which keeps the lexer trivially correct.
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `for`, `unwrap`).
+    Ident,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// A numeric literal.
+    Num,
+    /// A string, byte-string, or char literal (contents are opaque).
+    Lit,
+    /// A single punctuation character (`.`, `:`, `=`, `{`, …).
+    Punct(char),
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token kind; punctuation carries its character.
+    pub kind: TokKind,
+    /// The token text (empty for [`TokKind::Lit`] — contents never matter
+    /// to any rule, and eliding them avoids quadratic retention).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment with its starting line (1-based). Doc comments are included;
+/// block comments keep embedded newlines.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line on which the comment starts.
+    pub line: u32,
+    /// Comment text without the `//`, `///` or `/* */` framing.
+    pub text: String,
+    /// True when source code precedes the comment on its starting line
+    /// (a trailing comment annotates its own line; a standalone comment
+    /// annotates the next code line).
+    pub trailing: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Unterminated constructs consume
+/// to end of input rather than erroring: the linter must degrade, not
+/// panic, on files mid-edit.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        line_had_code: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    /// Whether a code token has been emitted on the current line.
+    line_had_code: bool,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.line_had_code = false;
+        }
+        Some(c)
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: String, line: u32) {
+        self.line_had_code = true;
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                'r' | 'b' | 'c' if self.raw_or_byte_prefix() => {}
+                '\'' => self.char_or_lifetime(),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push_tok(TokKind::Punct(c), String::new(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_had_code;
+        self.bump();
+        self.bump();
+        // Strip the extra doc-comment marker; rule ids never contain '/'.
+        while self.peek(0) == Some('/') || self.peek(0) == Some('!') {
+            self.bump();
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            text: text.trim().to_string(),
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_had_code;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            text: text.trim().to_string(),
+            trailing,
+        });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, `c"…"` and
+    /// plain identifiers starting with r/b/c. Returns true when it
+    /// consumed something.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let c0 = self.peek(0).unwrap_or(' ');
+        // Raw identifier r#name: emit as the identifier itself.
+        if c0 == 'r' && self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) {
+            let line = self.line;
+            self.bump();
+            self.bump();
+            let text = self.take_ident_text();
+            self.push_tok(TokKind::Ident, text, line);
+            return true;
+        }
+        // Longest literal prefixes first: br"", br#"", b"…", b'…', r"", r#"".
+        let (skip, hashes_start) = match (c0, self.peek(1), self.peek(2)) {
+            ('b', Some('r'), Some('"' | '#')) => (2, 2),
+            ('b', Some('"'), _) => {
+                self.consume_quoted_literal(1, 0, '"');
+                return true;
+            }
+            ('b', Some('\''), _) => {
+                self.consume_quoted_literal(1, 0, '\'');
+                return true;
+            }
+            ('r' | 'c', Some('"' | '#'), _) => (1, 1),
+            _ => return false,
+        };
+        // Count raw-string hashes after the prefix.
+        let mut hashes = 0;
+        while self.peek(hashes_start + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes_start + hashes) != Some('"') {
+            return false; // e.g. `r#[…]` is not a literal here
+        }
+        self.consume_raw_string(skip, hashes);
+        true
+    }
+
+    /// Consumes a raw string: `skip` prefix chars, `hashes` '#'s, a quote,
+    /// then content until `"` followed by `hashes` '#'s.
+    fn consume_raw_string(&mut self, skip: usize, hashes: usize) {
+        let line = self.line;
+        for _ in 0..skip + hashes + 1 {
+            self.bump();
+        }
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        }
+        self.push_tok(TokKind::Lit, String::new(), line);
+    }
+
+    /// Consumes an escaped quoted literal after `skip` prefix chars.
+    fn consume_quoted_literal(&mut self, skip: usize, _hashes: usize, quote: char) {
+        let line = self.line;
+        for _ in 0..skip {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                c if c == quote => break,
+                _ => {}
+            }
+        }
+        self.push_tok(TokKind::Lit, String::new(), line);
+    }
+
+    fn string(&mut self) {
+        self.consume_quoted_literal(0, 0, '"');
+    }
+
+    /// Disambiguates `'a'` (char literal) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self) {
+        // A lifetime is ' followed by an identifier NOT closed by another
+        // quote ('a' is a char; 'a is a lifetime; '\n' is a char).
+        let c1 = self.peek(1);
+        let is_lifetime = match c1 {
+            Some(c) if is_ident_start(c) => {
+                // Scan the identifier; if the char right after it is a
+                // quote, this is a char literal like 'x'.
+                let mut i = 2;
+                while self.peek(i).is_some_and(is_ident_continue) {
+                    i += 1;
+                }
+                self.peek(i) != Some('\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            let line = self.line;
+            self.bump(); // '
+            let text = self.take_ident_text();
+            self.push_tok(TokKind::Lifetime, text, line);
+        } else {
+            self.consume_quoted_literal(0, 0, '\'');
+        }
+    }
+
+    fn take_ident_text(&mut self) -> String {
+        let mut text = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            text.push(self.bump().unwrap_or('_'));
+        }
+        text
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let text = self.take_ident_text();
+        self.push_tok(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        // Numeric literals may embed `_`, `.`, exponents and type
+        // suffixes; consuming alphanumerics and underscores is enough for
+        // rule purposes (the trailing `.` of `1.` stays punctuation,
+        // which no rule pattern cares about).
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            text.push(self.bump().unwrap_or('0'));
+        }
+        self.push_tok(TokKind::Num, text, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let s = "HashMap in a string";
+            let r = r#"HashMap in a raw string"#;
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let c = 'H';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("HashMap in a comment"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let lits = lexed.toks.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lits, 2); // 'x' and '\n'
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a\nb\n  c";
+        let lexed = lex(src);
+        let lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn trailing_vs_standalone_comments() {
+        let src = "let x = 1; // trailing\n// standalone\nlet y = 2;";
+        let lexed = lex(src);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn byte_strings_are_literals() {
+        let src = r##"let b = b"HashMap"; let br = br#"HashSet"#;"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap" || i == "HashSet"));
+    }
+}

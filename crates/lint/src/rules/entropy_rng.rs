@@ -1,0 +1,58 @@
+//! `entropy-rng`: OS-entropy-seeded randomness anywhere.
+
+use super::{RawFinding, Rule};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+const ENTROPY_NAMES: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// Flags entropy-seeded RNG construction (`thread_rng`, `from_entropy`,
+/// `OsRng`, `getrandom`) and `rand::random`. Every random stream in the
+/// simulator must derive from the run's explicit seed; an entropy-seeded
+/// generator makes runs unreproducible even in test code, so this rule —
+/// unlike the others — does not exempt `#[cfg(test)]` regions.
+pub struct EntropyRng;
+
+impl Rule for EntropyRng {
+    fn id(&self) -> &'static str {
+        "entropy-rng"
+    }
+
+    fn description(&self) -> &'static str {
+        "entropy-seeded RNG: random streams must derive from the run's explicit seed"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "construct SmallRng::seed_from_u64(seed) (or split a seed from the run's master seed)"
+    }
+
+    fn exempts_test_code(&self) -> bool {
+        false
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        let toks = &file.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if ENTROPY_NAMES.contains(&t.text.as_str()) {
+                out.push(RawFinding {
+                    line: t.line,
+                    message: format!("`{}` seeds from OS entropy", t.text),
+                });
+            }
+            // `rand::random` (turbofish or not): ident `rand`, `::`, ident `random`.
+            if t.is_ident("rand")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident("random"))
+            {
+                out.push(RawFinding {
+                    line: t.line,
+                    message: "`rand::random` uses the entropy-seeded thread RNG".to_string(),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! `event-time-regression`: event timestamps mutated outside the queue.
+
+use super::{RawFinding, Rule};
+use crate::source::SourceFile;
+
+/// Field names that carry "when this event fires" in the simulator's
+/// event structures (`EventQueue` entries, scheduled NoC deliveries).
+const TIME_FIELDS: &[&str] = &["at"];
+
+/// Flags direct writes to an event-timestamp field (`x.at = …`,
+/// `x.at += …`, `x.at -= …`) outside the event-queue module.
+///
+/// Once an event is scheduled, its firing time is owned by the queue:
+/// rewriting it in place can regress time (fire an event before `now`),
+/// which breaks the monotonic-cycle invariant the watchdogs and the
+/// determinism harness rely on. Rescheduling is expressed by popping and
+/// re-pushing, never by editing a timestamp. The queue's own module is
+/// exempted via the policy's `[exempt]` table, not here: the rule stays
+/// mechanical and the policy names the single owner.
+pub struct EventTimeRegression;
+
+impl Rule for EventTimeRegression {
+    fn id(&self) -> &'static str {
+        "event-time-regression"
+    }
+
+    fn description(&self) -> &'static str {
+        "event timestamp mutated outside the event-queue API: \
+         can regress simulated time and break cycle monotonicity"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "pop and re-push through the event queue (or construct a new event) \
+         instead of editing a scheduled timestamp"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        let toks = &file.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if !(i > 0 && toks[i - 1].is_punct('.')) {
+                continue;
+            }
+            if !TIME_FIELDS.iter().any(|f| t.is_ident(f)) {
+                continue;
+            }
+            // `.at = v` (but not `==`), `.at += v`, `.at -= v`.
+            let mutated = match (toks.get(i + 1), toks.get(i + 2)) {
+                (Some(n1), Some(n2)) if n1.is_punct('=') => !n2.is_punct('='),
+                (Some(n1), Some(n2)) if n1.is_punct('+') || n1.is_punct('-') => n2.is_punct('='),
+                _ => false,
+            };
+            // Exclude range patterns like `..` (previous-previous token)
+            // — `a..b.at` cannot assign, so only the match above matters.
+            if mutated {
+                out.push(RawFinding {
+                    line: t.line,
+                    message: format!("scheduled timestamp `.{}` is written in place", t.text),
+                });
+            }
+        }
+    }
+}

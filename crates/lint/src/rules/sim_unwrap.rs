@@ -1,0 +1,55 @@
+//! `sim-unwrap`: panicking extraction in simulator hot paths.
+
+use super::{RawFinding, Rule};
+use crate::source::SourceFile;
+
+/// Flags `.unwrap()` / `.expect(…)` method calls outside test code.
+///
+/// Simulation code must degrade through `SimError` (with a diagnostic
+/// snapshot) instead of panicking: a panic mid-run loses the partial
+/// report and the fault diagnostics the abort machinery exists to
+/// produce. This replaces the old grep/clippy gate in `scripts/ci.sh`
+/// with real awareness of `#[cfg(test)]` modules, strings, and comments,
+/// and extends it from three crates to every sim crate.
+///
+/// Matching is exact on the method name: `unwrap_or`, `unwrap_or_else`,
+/// `unwrap_or_default`, and `expect_err` are different identifiers and do
+/// not match. `self.unwrap(…)` / `self.expect(…)` are also skipped: a
+/// crate cannot add inherent methods to `Option`/`Result`, so a call
+/// whose receiver is literally `self` is always a custom method (e.g.
+/// the JSON parser's `fn expect(&mut self, byte: u8) -> Result<…>`),
+/// never std's panicking extractor.
+pub struct SimUnwrap;
+
+impl Rule for SimUnwrap {
+    fn id(&self) -> &'static str {
+        "sim-unwrap"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap()/expect() in simulator code: panics lose the partial report \
+         and diagnostics; sim code must degrade through SimError"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "propagate a SimError (or restructure so the invariant is type-level); \
+         if the invariant is locally provable, suppress with a justification"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        let toks = &file.toks;
+        for (i, t) in toks.iter().enumerate() {
+            let is_call = (t.is_ident("unwrap") || t.is_ident("expect"))
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            let custom_self_method = i >= 2 && toks[i - 2].is_ident("self");
+            if is_call && !custom_self_method {
+                out.push(RawFinding {
+                    line: t.line,
+                    message: format!("`.{}()` panics on the failure path", t.text),
+                });
+            }
+        }
+    }
+}

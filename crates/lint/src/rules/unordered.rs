@@ -1,0 +1,60 @@
+//! `unordered-iteration`: hash-ordered collections in deterministic code.
+
+use super::{RawFinding, Rule};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Names whose presence marks hash-ordered (iteration-order-unstable)
+/// collections. `hash_map`/`hash_set` catch module-path imports such as
+/// `std::collections::hash_map::Entry`; `RandomState` catches an explicit
+/// nondeterministic hasher handed to an otherwise ordered wrapper.
+const HASH_NAMES: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "hash_map",
+    "hash_set",
+    "RandomState",
+    "FxHashMap",
+    "FxHashSet",
+    "IndexMap",
+    "IndexSet",
+];
+
+/// Flags every mention of a hash-ordered collection in a deterministic
+/// crate class.
+///
+/// The analyzer is type-blind, so it cannot prove which individual maps
+/// are iterated; instead the rule enforces the stronger, mechanically
+/// checkable invariant the simulator actually wants: *deterministic sim
+/// crates do not hold hash-ordered collections at all* (outside test
+/// code). A lookup-only `HashMap` is one refactor away from an
+/// order-dependent loop, and `BTreeMap`/`BTreeSet` cost nothing at sim
+/// scale. Genuinely unreachable-by-iteration uses can carry a justified
+/// `nocstar-lint: allow(unordered-iteration)` suppression.
+pub struct UnorderedIteration;
+
+impl Rule for UnorderedIteration {
+    fn id(&self) -> &'static str {
+        "unordered-iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "hash-ordered collection (HashMap/HashSet) in a deterministic sim crate: \
+         iteration order varies run to run and silently breaks byte-identical reports"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "use BTreeMap/BTreeSet, or collect and sort explicitly before iterating"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        for t in &file.toks {
+            if t.kind == TokKind::Ident && HASH_NAMES.contains(&t.text.as_str()) {
+                out.push(RawFinding {
+                    line: t.line,
+                    message: format!("`{}` is hash-ordered", t.text),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! `wall-clock`: host-time reads in simulated-time logic.
+
+use super::{RawFinding, Rule};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+const CLOCK_NAMES: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
+
+/// Flags `std::time::Instant` / `SystemTime` (and `UNIX_EPOCH`) in sim
+/// crates. Simulated time is `Cycle`; any host-clock read in sim logic
+/// makes results depend on machine load and breaks reproducibility.
+/// Wall-clock timing belongs in the bench/tools class, which disables
+/// this rule.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn id(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn description(&self) -> &'static str {
+        "host wall-clock read (Instant/SystemTime) in simulator logic: \
+         results would depend on host timing, not simulated cycles"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "thread simulated time (Cycle) through instead; host timing belongs in crates/bench"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        for t in &file.toks {
+            if t.kind == TokKind::Ident && CLOCK_NAMES.contains(&t.text.as_str()) {
+                out.push(RawFinding {
+                    line: t.line,
+                    message: format!("`{}` reads the host clock", t.text),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: all randomness derives from the run's explicit seed.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn rng_for_core(master_seed: u64, core: u64) -> SmallRng {
+    SmallRng::seed_from_u64(master_seed ^ (core.wrapping_mul(0x9e3779b97f4a7c15)))
+}

@@ -1,0 +1,15 @@
+//! Fixture: scheduled event timestamps rewritten in place.
+
+pub struct Scheduled {
+    pub at: u64,
+    pub payload: u64,
+}
+
+pub fn rewind(event: &mut Scheduled) {
+    event.at = 0;
+}
+
+pub fn nudge(event: &mut Scheduled, by: u64) {
+    event.at += by;
+    event.at -= 1;
+}

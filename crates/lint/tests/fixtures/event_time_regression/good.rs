@@ -1,0 +1,18 @@
+//! Fixture: timestamps are read, compared, and constructed — never
+//! mutated in place.
+
+pub struct Scheduled {
+    pub at: u64,
+    pub payload: u64,
+}
+
+pub fn is_due(event: &Scheduled, now: u64) -> bool {
+    event.at <= now && event.at == event.at && event.at != now + 1
+}
+
+pub fn reschedule(event: &Scheduled, now: u64) -> Scheduled {
+    Scheduled {
+        at: now + 1,
+        payload: event.payload,
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: panicking extraction in sim code.
+
+pub fn lookup(map: &std::collections::BTreeMap<u64, u64>, key: u64) -> u64 {
+    let hit = map.get(&key).unwrap();
+    let doubled = map.get(&(key * 2)).expect("scheduled earlier");
+    hit + doubled
+}

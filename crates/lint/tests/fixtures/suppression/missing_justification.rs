@@ -1,0 +1,13 @@
+//! Fixture: suppressions without a justification are rejected — the
+//! original finding still fires AND the malformed comment is its own
+//! error.
+
+pub fn victim_way(stamps: &[u64]) -> usize {
+    stamps
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| **s)
+        // nocstar-lint: allow(sim-unwrap)
+        .expect("nonempty")
+        .0
+}

@@ -1,0 +1,18 @@
+//! Fixture: hash-ordered collections in sim code. Every mention below is
+//! a finding; the string/comment mentions must NOT be.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct SliceDirectory {
+    homes: HashMap<u64, usize>,
+}
+
+pub fn drain_ready(ready: &HashSet<u64>) -> Vec<u64> {
+    // Iterating a hash set: order varies run to run.
+    ready.iter().copied().collect()
+}
+
+pub fn count(dir: &SliceDirectory) -> usize {
+    let _not_a_finding = "HashMap mentioned in a string";
+    dir.homes.len()
+}

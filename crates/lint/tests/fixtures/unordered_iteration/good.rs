@@ -1,0 +1,23 @@
+//! Fixture: ordered collections (and test-only hash maps) are clean.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct SliceDirectory {
+    homes: BTreeMap<u64, usize>,
+}
+
+pub fn drain_ready(ready: &BTreeSet<u64>) -> Vec<u64> {
+    ready.iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap; // exempt: test-only scratch state
+
+    #[test]
+    fn scratch() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+    }
+}

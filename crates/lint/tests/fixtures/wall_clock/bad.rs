@@ -1,0 +1,11 @@
+//! Fixture: host-clock reads in sim logic.
+
+use std::time::Instant;
+
+pub fn walk_latency_cycles() -> u64 {
+    let t0 = Instant::now();
+    let spent = t0.elapsed().as_nanos() as u64;
+    let since_epoch = std::time::SystemTime::now();
+    let _ = since_epoch;
+    spent
+}

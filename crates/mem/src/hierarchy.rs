@@ -9,7 +9,7 @@ use nocstar_stats::counter::HitMiss;
 use nocstar_stats::Log2Histogram;
 use nocstar_types::time::Cycles;
 use nocstar_types::{Asid, CoreId, PageSize, PhysAddr, PhysPageNum, VirtAddr, VirtPageNum};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Which level serviced an access.
@@ -107,7 +107,7 @@ pub struct MemorySystem {
     l2s: Vec<Cache>,
     llc: Cache,
     phys: PhysMemory,
-    tables: HashMap<Asid, PageTable>,
+    tables: BTreeMap<Asid, PageTable>,
     pwcs: Vec<PteCache>,
     /// Distribution of completed page-walk latencies (cycles).
     pub(crate) walk_latency: Log2Histogram,
@@ -129,7 +129,7 @@ impl MemorySystem {
             l2s: (0..config.cores).map(|_| Cache::new(config.l2)).collect(),
             llc: Cache::new(config.llc),
             phys: PhysMemory::new(config.phys_capacity),
-            tables: HashMap::new(),
+            tables: BTreeMap::new(),
             pwcs: (0..config.cores)
                 .map(|_| PteCache::new(DEFAULT_PWC_ENTRIES))
                 .collect(),

@@ -13,7 +13,7 @@
 
 use crate::phys::PhysMemory;
 use nocstar_types::{PageSize, PhysAddr, PhysPageNum, VirtAddr, VirtPageNum};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const FANOUT_BITS: u32 = 9;
 const FANOUT_MASK: u64 = (1 << FANOUT_BITS) - 1;
@@ -32,7 +32,7 @@ enum Slot {
 #[derive(Debug, Clone)]
 struct Node {
     frame: PhysPageNum,
-    entries: HashMap<u16, Slot>,
+    entries: BTreeMap<u16, Slot>,
 }
 
 /// The outcome of walking one virtual address.
@@ -76,7 +76,7 @@ impl PageTable {
         Self {
             nodes: vec![Node {
                 frame: root_frame,
-                entries: HashMap::new(),
+                entries: BTreeMap::new(),
             }],
             root: 0,
             mapped_pages: 0,
@@ -162,7 +162,7 @@ impl PageTable {
                     let child = self.nodes.len();
                     self.nodes.push(Node {
                         frame,
-                        entries: HashMap::new(),
+                        entries: BTreeMap::new(),
                     });
                     self.nodes[node].entries.insert(i, Slot::Table(child));
                     child
@@ -278,7 +278,7 @@ impl PageTable {
         let pt_frame = phys.alloc(PageSize::Size4K);
         let pt_node = self.nodes.len();
         let base_frame = phys.alloc(PageSize::Size2M); // 512 contiguous 4K frames
-        let entries: HashMap<u16, Slot> = (0..512u16)
+        let entries: BTreeMap<u16, Slot> = (0..512u16)
             .map(|i| {
                 (
                     i,

@@ -22,7 +22,7 @@ use crate::{Interconnect, NocStats};
 use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, LinkState, PendingMessage, SimError};
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::MeshShape;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Link-reservation policy (Fig 16 left).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -90,7 +90,7 @@ pub struct CircuitFabric {
     busy_until: Vec<Cycle>,
     /// Per link: message id holding a round-trip reservation, if any.
     reserved_by: Vec<Option<u64>>,
-    reservations: HashMap<u64, Reservation>,
+    reservations: BTreeMap<u64, Reservation>,
     pending: Vec<Pending>,
     scheduled: BinaryHeap<Scheduled>,
     seq: u64,
@@ -140,7 +140,7 @@ impl CircuitFabric {
             mode,
             busy_until: vec![Cycle::ZERO; n],
             reserved_by: vec![None; n],
-            reservations: HashMap::new(),
+            reservations: BTreeMap::new(),
             pending: Vec::new(),
             scheduled: BinaryHeap::new(),
             seq: 0,
@@ -237,12 +237,12 @@ impl CircuitFabric {
         // highest-priority requester, provided the link is free this cycle.
         // Ties (one core with several outstanding messages) break by
         // message id, oldest first.
-        let mut grants: HashMap<LinkId, (usize, u64, usize)> = HashMap::new();
+        let mut grants: BTreeMap<LinkId, (usize, u64, usize)> = BTreeMap::new();
         let mut active: Vec<usize> = Vec::new();
         // Messages whose setup failed because of an injected fault this
         // cycle (setup denial or an outaged link on their path) rather
         // than ordinary contention.
-        let mut fault_blocked: HashSet<usize> = HashSet::new();
+        let mut fault_blocked: BTreeSet<usize> = BTreeSet::new();
         for (i, p) in self.pending.iter().enumerate() {
             if p.depart_at > cycle {
                 continue;
@@ -355,8 +355,8 @@ impl CircuitFabric {
         // messages back off deterministically and, once they exhaust the
         // plan's retry budget, escape over the buffered multi-hop service
         // path so no translation is ever lost.
-        let proceeded_set: HashSet<usize> = proceeded.into_iter().collect();
-        let active_set: HashSet<usize> = active.into_iter().collect();
+        let proceeded_set: BTreeSet<usize> = proceeded.into_iter().collect();
+        let active_set: BTreeSet<usize> = active.into_iter().collect();
         let max_fault_attempts = self.faults.retry.max_attempts;
         let mut escapes: Vec<(Message, Cycle, Cycle, u64)> = Vec::new();
         let mut kept = Vec::with_capacity(self.pending.len());
@@ -603,7 +603,8 @@ mod tests {
         f.submit(Cycle::ZERO, msg(1, 0, 2));
         f.submit(Cycle::ZERO, msg(2, 1, 3));
         let d = run_until_idle(&mut f, Cycle::ZERO);
-        let by_id: HashMap<u64, Cycle> = d.iter().map(|d| (d.msg.id, d.at)).collect();
+        let by_id: std::collections::HashMap<u64, Cycle> =
+            d.iter().map(|d| (d.msg.id, d.at)).collect();
         assert_eq!(by_id[&1], Cycle::new(1));
         assert_eq!(by_id[&2], Cycle::new(2));
     }

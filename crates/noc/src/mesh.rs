@@ -14,7 +14,7 @@ use crate::{Interconnect, NocStats};
 use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, LinkState, PendingMessage};
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::{Coord, MeshShape};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Cycles per hop: one for the router, one for the link.
 pub const CYCLES_PER_HOP: u64 = 2;
@@ -128,7 +128,7 @@ impl MeshNoc {
             .collect();
         order.sort_by_key(|&i| (self.flights[i].submitted_at, self.flights[i].msg.id));
 
-        let mut claimed: HashMap<usize, ()> = HashMap::new();
+        let mut claimed: BTreeSet<usize> = BTreeSet::new();
         let mut done: Vec<usize> = Vec::new();
         let now = cycle.value();
         for &i in &order {
@@ -161,14 +161,14 @@ impl MeshNoc {
                 }
                 continue;
             }
-            if claimed.contains_key(&link) {
+            if claimed.contains(&link) {
                 let f = &mut self.flights[i];
                 f.ready_at = cycle + Cycles::ONE;
                 f.stalled = true;
                 self.stats.retries += 1;
                 continue;
             }
-            claimed.insert(link, ());
+            claimed.insert(link);
             let extra = if self.faults.is_empty() {
                 0
             } else {

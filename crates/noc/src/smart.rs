@@ -13,7 +13,7 @@ use crate::{Interconnect, NocStats};
 use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, LinkState, PendingMessage};
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::{Coord, MeshShape};
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 #[derive(Debug, Clone)]
 struct Flight {
@@ -126,7 +126,7 @@ impl SmartNoc {
         // Oldest flit wins bypass arbitration.
         order.sort_by_key(|&i| (self.flights[i].submitted_at, self.flights[i].msg.id));
 
-        let mut claimed: HashSet<usize> = HashSet::new();
+        let mut claimed: BTreeSet<usize> = BTreeSet::new();
         let mut done: Vec<usize> = Vec::new();
         for &i in &order {
             if !self.flights[i].injected {

@@ -131,6 +131,7 @@ impl Histogram {
             }
             lo = b + 1;
         }
+        // nocstar-lint: allow(sim-unwrap): bounds is non-empty, asserted in the constructor
         labels.push(format!(">{}", self.bounds.last().unwrap()));
         labels
     }

@@ -53,6 +53,7 @@ impl ReplacementState {
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, (_, used))| *used)
+                    // nocstar-lint: allow(sim-unwrap): stamps is non-empty, a caller invariant (debug_assert above)
                     .expect("nonempty set")
                     .0
             }
@@ -61,6 +62,7 @@ impl ReplacementState {
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, (inserted, _))| *inserted)
+                    // nocstar-lint: allow(sim-unwrap): stamps is non-empty, a caller invariant (debug_assert above)
                     .expect("nonempty set")
                     .0
             }

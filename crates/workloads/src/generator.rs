@@ -126,6 +126,7 @@ impl SyntheticTrace {
     fn pick_page(&mut self, region_pages: u64, hot: Option<Zipf>, cold: Option<Zipf>) -> u64 {
         let go_hot = hot.is_some() && self.rng.gen::<f64>() < self.spec.hot_fraction;
         if go_hot {
+            // nocstar-lint: allow(sim-unwrap): go_hot is only true when hot is Some
             let zipf = hot.expect("checked");
             let rank = zipf.sample(&mut self.rng);
             // Odd stride: hot pages must stay coprime with power-of-two

@@ -12,7 +12,7 @@ use crate::trace::{MemAccess, TraceEvent, TraceSource};
 use nocstar_json::Json;
 use nocstar_types::time::Cycles;
 use nocstar_types::{Asid, PageSize, VirtAddr, VirtPageNum};
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// A finite captured trace, replayed in a loop.
@@ -40,7 +40,7 @@ pub struct RecordedTrace {
     events: Vec<TraceEvent>,
     /// Page-size backing per 2 MiB-aligned virtual frame (addresses not
     /// listed default to 4 KiB).
-    superpage_frames: HashMap<u64, ()>,
+    superpage_frames: BTreeSet<u64>,
     cursor: usize,
 }
 
@@ -176,7 +176,7 @@ impl RecordedTrace {
     pub fn capture(source: &mut dyn TraceSource, count: usize) -> Self {
         assert!(count > 0, "cannot capture an empty trace");
         let mut events = Vec::with_capacity(count);
-        let mut superpage_frames = HashMap::new();
+        let mut superpage_frames = BTreeSet::new();
         for _ in 0..count {
             let event = source.next_event();
             let touched: Option<VirtAddr> = match &event {
@@ -188,7 +188,7 @@ impl RecordedTrace {
             };
             if let Some(va) = touched {
                 if source.backing(va) == PageSize::Size2M {
-                    superpage_frames.insert(va.value() >> 21, ());
+                    superpage_frames.insert(va.value() >> 21);
                 }
             }
             events.push(event);
@@ -218,11 +218,10 @@ impl RecordedTrace {
 
     /// Serializes to JSON (the interchange format for external traces).
     ///
-    /// Superpage frames are emitted sorted, so equal traces always produce
-    /// byte-identical text regardless of hash-map iteration order.
+    /// Superpage frames are emitted in ascending order (the ordered set's
+    /// iteration order), so equal traces always produce byte-identical text.
     pub fn to_json(&self) -> String {
-        let mut frames: Vec<u64> = self.superpage_frames.keys().copied().collect();
-        frames.sort_unstable();
+        let frames: Vec<u64> = self.superpage_frames.iter().copied().collect();
         Json::obj(vec![
             ("asid", Json::U64(u64::from(self.asid.value()))),
             (
@@ -264,10 +263,9 @@ impl RecordedTrace {
             .iter()
             .map(|v| {
                 v.as_u64()
-                    .map(|frame| (frame, ()))
                     .ok_or_else(|| schema_err("superpage frame must be an integer"))
             })
-            .collect::<Result<HashMap<_, _>, _>>()?;
+            .collect::<Result<BTreeSet<_>, _>>()?;
         Ok(Self {
             asid: Asid::new(asid),
             events,
@@ -285,7 +283,7 @@ impl TraceSource for RecordedTrace {
     }
 
     fn backing(&self, va: VirtAddr) -> PageSize {
-        if self.superpage_frames.contains_key(&(va.value() >> 21)) {
+        if self.superpage_frames.contains(&(va.value() >> 21)) {
             PageSize::Size2M
         } else {
             PageSize::Size4K
