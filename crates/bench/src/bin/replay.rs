@@ -1,0 +1,5 @@
+//! Runs one simulation (optionally from a captured `.nct` trace via
+//! `--trace-file`) and saves the full report JSON; see `experiments::replay`.
+fn main() {
+    nocstar_bench::experiments::replay::run(nocstar_bench::Effort::from_env());
+}

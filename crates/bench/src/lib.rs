@@ -135,6 +135,40 @@ pub fn fault_settings() -> &'static FaultSettings {
     FAULTS.get_or_init(FaultSettings::from_env)
 }
 
+/// Trace-replay settings shared by every experiment binary, resolved once
+/// from the process arguments and environment:
+///
+/// * `--trace-file <path>` (or `NOCSTAR_TRACE_FILE=<path>`) — drive every
+///   run from a captured `.nct` trace file (see `TRACE_FORMAT.md` and the
+///   `nocstar-trace` CLI) instead of the live synthetic generators. The
+///   preset argument still selects labels/tables, but the address streams
+///   come from the file; an unreadable or corrupt file terminates the
+///   process with exit code 2 at the first run.
+#[derive(Debug, Clone, Default)]
+pub struct ReplaySettings {
+    /// The trace file every run replays, if any.
+    pub trace_file: Option<PathBuf>,
+}
+
+impl ReplaySettings {
+    fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let trace_file = args
+            .iter()
+            .position(|a| a == "--trace-file")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+            .or_else(|| std::env::var("NOCSTAR_TRACE_FILE").ok().map(PathBuf::from));
+        Self { trace_file }
+    }
+}
+
+/// The process-wide replay settings (first use resolves them).
+pub fn replay_settings() -> &'static ReplaySettings {
+    static REPLAY: OnceLock<ReplaySettings> = OnceLock::new();
+    REPLAY.get_or_init(ReplaySettings::from_env)
+}
+
 /// Reports collected since the last [`emit`], serialized eagerly so the
 /// collector owns no simulator state.
 static COLLECTED: Mutex<Vec<Json>> = Mutex::new(Vec::new());
@@ -206,7 +240,16 @@ impl Effort {
         if let Some(budget) = faults.max_cycles {
             config.max_cycles = Some(budget);
         }
-        let workload = WorkloadAssignment::preset(&config, preset);
+        let workload = match &replay_settings().trace_file {
+            Some(path) => match WorkloadAssignment::from_trace_file(&config, path) {
+                Ok(workload) => workload,
+                Err(e) => {
+                    eprintln!("error: cannot replay {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            },
+            None => WorkloadAssignment::preset(&config, preset),
+        };
         let mut sim = Simulation::new(config, workload);
         if !faults.plan.is_empty() {
             sim = sim.with_faults(faults.plan.clone());

@@ -2,11 +2,14 @@
 
 use crate::config::SystemConfig;
 use nocstar_types::{Asid, ThreadId};
+use nocstar_workloads::file_trace::FileTrace;
 use nocstar_workloads::microbench::{SliceHammerTrace, StormTrace};
 use nocstar_workloads::multiprog::Mix;
+use nocstar_workloads::nct::{self, NctError};
 use nocstar_workloads::preset::Preset;
 use nocstar_workloads::spec::WorkloadSpec;
 use nocstar_workloads::trace::TraceSource;
+use std::path::Path;
 
 /// One trace per hardware thread (index = core * smt + context).
 pub struct WorkloadAssignment {
@@ -120,6 +123,42 @@ impl WorkloadAssignment {
         }
     }
 
+    /// Replays a captured NCT trace file (see `TRACE_FORMAT.md`): every
+    /// hardware thread streams its own copy of one of the file's thread
+    /// streams, with bounded memory per thread.
+    ///
+    /// Hardware thread `t` replays file stream `t % file_threads`, so a
+    /// file captured for exactly `config.threads()` threads replays
+    /// one-to-one — with matching seed, organization and THP setting the
+    /// resulting `SimReport` is byte-identical to the generator-driven
+    /// run it captured (policed by `tests/trace_replay.rs`) — while a
+    /// smaller capture (e.g. a single-thread trace) still drives any
+    /// chip size by reuse. The report label is the label stored in the
+    /// file header.
+    ///
+    /// # Errors
+    ///
+    /// Any [`NctError`] from opening or validating the file; every
+    /// thread's section is fully validated (checksums included) before
+    /// the simulation starts.
+    pub fn from_trace_file(
+        config: &SystemConfig,
+        path: impl AsRef<Path>,
+    ) -> Result<Self, NctError> {
+        let path = path.as_ref();
+        let header = nct::peek_header(path)?;
+        let traces = (0..config.threads())
+            .map(|t| {
+                let stream = (t % usize::from(header.thread_count)) as u16;
+                FileTrace::open(path, stream).map(|ft| Box::new(ft) as Box<dyn TraceSource>)
+            })
+            .collect::<Result<Vec<_>, NctError>>()?;
+        Ok(Self {
+            traces,
+            label: header.label,
+        })
+    }
+
     /// A caller-assembled assignment (one trace per hardware thread).
     ///
     /// # Panics
@@ -227,6 +266,43 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn empty_custom_assignment_rejected() {
         let _ = WorkloadAssignment::custom(Vec::new(), "empty");
+    }
+
+    fn temp_nct(name: &str, threads: u16, events_per_thread: usize) -> std::path::PathBuf {
+        use nocstar_workloads::nct::NctFile;
+        use nocstar_workloads::recorded::RecordedTrace;
+        let spec = Preset::Redis.spec();
+        let traces: Vec<RecordedTrace> = (0..threads)
+            .map(|t| {
+                let mut src = spec.trace(Asid::new(1), ThreadId::new(usize::from(t)), 7, true);
+                RecordedTrace::capture(&mut src, events_per_thread)
+            })
+            .collect();
+        let file = NctFile::from_recorded(&traces, "redis").unwrap();
+        let path =
+            std::env::temp_dir().join(format!("nocstar_assignment_{}_{name}", std::process::id()));
+        file.save(&path).unwrap();
+        path
+    }
+
+    #[test]
+    fn trace_file_assignment_takes_label_and_threads_from_the_file() {
+        let path = temp_nct("label.nct", 2, 50);
+        let cfg = SystemConfig::new(4, TlbOrg::paper_nocstar());
+        let wa = WorkloadAssignment::from_trace_file(&cfg, &path).unwrap();
+        assert_eq!(wa.label(), "redis");
+        assert_eq!(wa.len(), 4); // 4 hw threads reuse the 2 file streams
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn trace_file_assignment_surfaces_structured_errors() {
+        let cfg = SystemConfig::new(2, TlbOrg::paper_private());
+        let err = match WorkloadAssignment::from_trace_file(&cfg, "/no/such/file.nct") {
+            Ok(_) => panic!("opening a missing file should fail"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, nocstar_workloads::nct::NctError::Io(_)));
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //! * [`spec`] — the tunable workload description ([`WorkloadSpec`]).
 //! * [`generator`] — [`SyntheticTrace`], the spec interpreter.
 //! * [`preset`] — the 11 paper workloads.
-//! * [`recorded`] — trace capture/replay (and a JSON interchange format
-//!   for externally produced traces).
+//! * [`recorded`] — in-memory trace capture/replay (and a JSON
+//!   interchange format for externally produced traces).
+//! * [`nct`] — the NCT compressed binary trace format (normative spec:
+//!   `TRACE_FORMAT.md` at the repository root).
+//! * [`file_trace`] — streaming NCT replay with bounded memory.
 //! * [`microbench`] — the TLB-storm and slice-hammer stress tests (§V).
 //! * [`multiprog`] — the 330 four-app multiprogrammed mixes (Fig 18).
 //!
@@ -37,16 +40,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod file_trace;
 pub mod generator;
 pub mod microbench;
 pub mod multiprog;
+pub mod nct;
 pub mod preset;
 pub mod recorded;
 pub mod spec;
 pub mod trace;
 pub mod zipf;
 
+pub use file_trace::FileTrace;
 pub use generator::SyntheticTrace;
+pub use nct::{NctError, NctFile};
 pub use preset::Preset;
 pub use spec::WorkloadSpec;
 pub use trace::{MemAccess, TraceEvent, TraceSource};

@@ -210,6 +210,20 @@ impl Preset {
     pub fn name(self) -> &'static str {
         self.spec().name
     }
+
+    /// Looks a preset up by its paper label (the inverse of
+    /// [`name`](Self::name)) — how the `nocstar-trace` and bench CLIs
+    /// resolve `--preset` flags.
+    ///
+    /// ```
+    /// use nocstar_workloads::preset::Preset;
+    /// assert_eq!(Preset::from_name("redis"), Some(Preset::Redis));
+    /// assert_eq!(Preset::from_name("data caching"), Some(Preset::DataCaching));
+    /// assert_eq!(Preset::from_name("fortnite"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<Preset> {
+        Preset::ALL.into_iter().find(|p| p.name() == name)
+    }
 }
 
 impl fmt::Display for Preset {
@@ -276,5 +290,13 @@ mod tests {
     fn display_matches_paper_labels() {
         assert_eq!(Preset::DataCaching.to_string(), "data caching");
         assert_eq!(Preset::Gups.to_string(), "gups");
+    }
+
+    #[test]
+    fn from_name_inverts_name_for_every_preset() {
+        for p in Preset::ALL {
+            assert_eq!(Preset::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Preset::from_name("no such workload"), None);
     }
 }

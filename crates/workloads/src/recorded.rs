@@ -1,4 +1,4 @@
-//! Recording and replaying traces.
+//! Recording and replaying traces (in memory, JSON interchange).
 //!
 //! The synthetic generators are deterministic, but third-party users of
 //! the simulator often want to (a) capture a trace once and re-run it
@@ -7,6 +7,16 @@
 //! memory trace converted to this format). [`RecordedTrace`] is that
 //! bridge: a serializable event list plus the page-size backing decisions,
 //! replayable as a [`TraceSource`].
+//!
+//! **Scaling past toy lengths:** this type holds every event in memory
+//! and its JSON form costs ~60 bytes per event, so it is the
+//! human-inspectable *interchange* format, not the replay format. For
+//! real application traces use the NCT binary format instead — see
+//! `TRACE_FORMAT.md` at the repository root for the normative spec,
+//! [`crate::nct::NctFile`] for conversion (the `nocstar-trace convert`
+//! CLI maps JSON ⇄ NCT losslessly in both directions), and
+//! [`crate::file_trace::FileTrace`] for streaming replay with bounded
+//! memory.
 
 use crate::trace::{MemAccess, TraceEvent, TraceSource};
 use nocstar_json::Json;
@@ -214,6 +224,38 @@ impl RecordedTrace {
     /// The captured events.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// The address space the trace was captured in.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// The 2 MiB-backed virtual frame numbers (VA ≫ 21) captured with
+    /// the events; addresses outside these frames are 4 KiB-backed.
+    pub fn superpage_frames(&self) -> &BTreeSet<u64> {
+        &self.superpage_frames
+    }
+
+    /// Reassembles a trace from its parts — the path back from the NCT
+    /// binary format (see [`crate::nct::NctFile::to_recorded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is empty (same contract as
+    /// [`capture`](Self::capture)).
+    pub fn from_parts(
+        asid: Asid,
+        events: Vec<TraceEvent>,
+        superpage_frames: BTreeSet<u64>,
+    ) -> Self {
+        assert!(!events.is_empty(), "cannot build an empty trace");
+        Self {
+            asid,
+            events,
+            superpage_frames,
+            cursor: 0,
+        }
     }
 
     /// Serializes to JSON (the interchange format for external traces).

@@ -5,10 +5,14 @@
 # Two modes (ROADMAP "CI timing budget"):
 #
 #   ci.sh             fast PR gate: fmt + determinism lint + clippy +
-#                     build + tier-1 tests. Target: a few minutes.
+#                     build + tier-1 tests (including the NCT trace
+#                     round-trip/golden-fixture suite). Target: a few
+#                     minutes.
 #   ci.sh --nightly   everything above plus the slow sweeps: chaos
-#                     property suite, fault-sweep smoke, and the full
-#                     golden-report determinism sweep.
+#                     property suite, fault-sweep smoke, the full
+#                     golden-report determinism sweep, and the
+#                     end-to-end trace-replay equivalence check
+#                     (record -> replay -> byte-for-byte report diff).
 #
 # The lint step writes JSON + SARIF reports to target/lint/ so CI can
 # upload them as build artifacts; it exits non-zero on any
@@ -46,6 +50,9 @@ cargo build --workspace --release
 echo "== tier-1 tests =="
 cargo test -q --workspace
 
+echo "== trace subsystem: round-trip + golden fixture =="
+cargo test -q --test trace_replay
+
 if [[ "$NIGHTLY" == "1" ]]; then
   echo "== nightly: chaos property suite =="
   cargo test -q --test chaos
@@ -56,6 +63,30 @@ if [[ "$NIGHTLY" == "1" ]]; then
   echo "== nightly: golden-report determinism sweep =="
   cargo test -q --test golden_reports
   cargo test -q --test determinism
+
+  echo "== nightly: trace-replay equivalence (live vs recorded, real binaries) =="
+  # Capture the redis preset with the simulator's defaults, then run the
+  # replay binary twice — once live, once from the file — and demand
+  # byte-identical report JSON. Proves the whole record -> NCT ->
+  # FileTrace -> SimReport pipeline outside the test harness.
+  TRACE_TMP="$(mktemp -d)"
+  trap 'rm -rf "$TRACE_TMP"' EXIT
+  cargo run --release -q -p nocstar-trace -- record \
+    --preset redis --threads 4 --events 1200 --out "$TRACE_TMP/redis.nct"
+  NOCSTAR_OUT="$TRACE_TMP/live" cargo run --release -q -p nocstar-bench --bin replay -- \
+    --cores 4 --org nocstar --preset redis --warmup 200 --measure 500 >/dev/null
+  NOCSTAR_OUT="$TRACE_TMP/replayed" cargo run --release -q -p nocstar-bench --bin replay -- \
+    --cores 4 --org nocstar --warmup 200 --measure 500 \
+    --trace-file "$TRACE_TMP/redis.nct" >/dev/null
+  diff "$TRACE_TMP/live/replay.report.json" "$TRACE_TMP/replayed/replay.report.json"
+  echo "   live and replayed reports are byte-identical"
+
+  echo "== nightly: golden fixture replays to the golden report =="
+  NOCSTAR_OUT="$TRACE_TMP/fixture" cargo run --release -q -p nocstar-bench --bin replay -- \
+    --cores 4 --org nocstar --warmup 200 --measure 500 \
+    --trace-file tests/golden/example.nct >/dev/null
+  diff "$TRACE_TMP/fixture/replay.report.json" tests/golden/replay_example.json
+  echo "   fixture replay matches tests/golden/replay_example.json"
 
   echo "Nightly CI gate passed."
 else

@@ -81,7 +81,10 @@ pub mod prelude {
     pub use nocstar_tlb::shootdown::LeaderPolicy;
     pub use nocstar_types::time::{Cycle, Cycles};
     pub use nocstar_types::{Asid, CoreId, MeshShape, PageSize, ThreadId, VirtAddr};
+    pub use nocstar_workloads::file_trace::FileTrace;
     pub use nocstar_workloads::multiprog::{all_mixes, Mix};
+    pub use nocstar_workloads::nct::{NctError, NctFile};
     pub use nocstar_workloads::preset::Preset;
+    pub use nocstar_workloads::recorded::RecordedTrace;
     pub use nocstar_workloads::spec::WorkloadSpec;
 }
