@@ -1,0 +1,112 @@
+//! Wall-clock timing for the domain-parallel simulation driver.
+//!
+//! Runs one fixed-seed configuration end to end and prints a single JSON
+//! line with the best-of-`--reps` wall-clock time and the simulation
+//! throughput (committed memory accesses — the simulator's unit of work —
+//! per wall-clock second). `scripts/perf.sh` sweeps this binary over the
+//! paper's fabrics and core counts at domains 1 vs N and assembles
+//! `bench_results/BENCH_parallel.json`.
+//!
+//! Flags:
+//!
+//! * `--cores <n>` — core count (default 256).
+//! * `--org <name>` — `ideal`, `distributed` (packet mesh), `smart`
+//!   (monolithic over a SMART mesh) or `nocstar` (circuit fabric);
+//!   default `distributed`.
+//! * `--parallel-domains <n>[,<n>...]` — simulation domain counts
+//!   (default `1`). With several values the repetitions interleave
+//!   across them round-robin, so slow host phases (VM steal, frequency
+//!   drift) hit every configuration equally and the reported minima are
+//!   comparable.
+//! * `--warmup <n>` / `--measure <n>` — per-thread access counts
+//!   (defaults 500 / 2000).
+//! * `--reps <n>` — timed repetitions per domain count; the minimum is
+//!   reported (default 3).
+
+use nocstar::prelude::*;
+use std::time::Instant;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_u64(args: &[String], name: &str, default: u64) -> u64 {
+    match flag(args, name).map(|v| v.parse::<u64>()) {
+        None => default,
+        Some(Ok(n)) => n,
+        Some(Err(e)) => {
+            eprintln!("error: bad {name} value: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_org(name: &str, cores: usize) -> TlbOrg {
+    match name {
+        "ideal" => TlbOrg::paper_ideal(),
+        "distributed" => TlbOrg::paper_distributed(),
+        "smart" => TlbOrg::Monolithic {
+            entries_per_core: 1024,
+            banks: cores,
+            net: MonolithicNet::Smart(8),
+            latency_override: None,
+        },
+        "nocstar" => TlbOrg::paper_nocstar(),
+        other => {
+            eprintln!("error: unknown --org {other:?} (expected ideal|distributed|smart|nocstar)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cores = flag_u64(&args, "--cores", 256) as usize;
+    let org_name = flag(&args, "--org").unwrap_or_else(|| "distributed".into());
+    let org = parse_org(&org_name, cores);
+    let domain_list: Vec<usize> = flag(&args, "--parallel-domains")
+        .unwrap_or_else(|| "1".into())
+        .split(',')
+        .map(|v| match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: bad --parallel-domains value {v:?}");
+                std::process::exit(2);
+            }
+        })
+        .collect();
+    let warmup = flag_u64(&args, "--warmup", 500);
+    let measure = flag_u64(&args, "--measure", 2000);
+    let reps = flag_u64(&args, "--reps", 3).max(1);
+
+    let mut best_ms = vec![f64::INFINITY; domain_list.len()];
+    let mut cycles = 0u64;
+    let mut accesses = 0u64;
+    for _ in 0..reps {
+        for (i, &domains) in domain_list.iter().enumerate() {
+            let mut config = SystemConfig::new(cores, org);
+            config.parallel_domains = domains;
+            let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+            let sim = Simulation::new(config, workload);
+            let start = Instant::now();
+            let report = sim.run_measured(warmup, measure);
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            best_ms[i] = best_ms[i].min(ms);
+            cycles = report.cycles;
+            accesses = report.accesses;
+        }
+    }
+    for (i, &domains) in domain_list.iter().enumerate() {
+        let events_per_sec = accesses as f64 / (best_ms[i] / 1e3);
+        println!(
+            "{{\"org\":\"{org_name}\",\"cores\":{cores},\"domains\":{domains},\
+             \"warmup\":{warmup},\"measure\":{measure},\"reps\":{reps},\
+             \"wall_ms\":{:.1},\"events_per_sec\":{events_per_sec:.0},\
+             \"cycles\":{cycles},\"accesses\":{accesses}}}",
+            best_ms[i]
+        );
+    }
+}

@@ -8,6 +8,7 @@
 
 mod entropy_rng;
 mod event_time;
+mod shared_mut_parallel;
 mod sim_unwrap;
 mod unordered;
 mod wall_clock;
@@ -16,6 +17,7 @@ use crate::source::SourceFile;
 
 pub use entropy_rng::EntropyRng;
 pub use event_time::EventTimeRegression;
+pub use shared_mut_parallel::SharedMutParallel;
 pub use sim_unwrap::SimUnwrap;
 pub use unordered::UnorderedIteration;
 pub use wall_clock::WallClock;
@@ -55,6 +57,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(EntropyRng),
         Box::new(SimUnwrap),
         Box::new(EventTimeRegression),
+        Box::new(SharedMutParallel),
     ]
 }
 

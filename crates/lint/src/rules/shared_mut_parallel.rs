@@ -1,0 +1,59 @@
+//! `shared-mut-parallel`: single-thread interior mutability in sim state.
+
+use super::{RawFinding, Rule};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Interior-mutability wrappers that are not `Sync`: state behind one of
+/// these mutates invisibly through `&self`, which the domain-parallel
+/// driver (`DESIGN.md §12`) cannot see when it hands shared references to
+/// feed workers. Thread-safe containers (`Mutex`, `RwLock`, atomics) are
+/// deliberately not listed — the shared page tables use them on purpose.
+const UNSYNC_CELLS: &[&str] = &["RefCell", "Cell", "UnsafeCell", "OnceCell", "LazyCell"];
+
+/// Flags `RefCell`/`Cell`/`UnsafeCell`/`OnceCell`/`LazyCell` and
+/// `static mut` in sim crates. Simulation state crosses threads under the
+/// domain-parallel driver; non-`Sync` interior mutability either fails to
+/// compile there or (via `static mut`/raw access) silently races, and
+/// both read as shared-mutability designs the simulator must not grow.
+pub struct SharedMutParallel;
+
+impl Rule for SharedMutParallel {
+    fn id(&self) -> &'static str {
+        "shared-mut-parallel"
+    }
+
+    fn description(&self) -> &'static str {
+        "single-thread interior mutability (RefCell/Cell/static mut) in simulator \
+         state: invisible to the domain-parallel driver and unsound across threads"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "take &mut self instead, or use a Sync container (Mutex/RwLock/atomics) \
+         if the state genuinely crosses domain workers"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        let mut prev_static_line: Option<u32> = None;
+        for t in &file.toks {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if UNSYNC_CELLS.contains(&t.text.as_str()) {
+                out.push(RawFinding {
+                    line: t.line,
+                    message: format!("`{}` is single-thread interior mutability", t.text),
+                });
+            }
+            if t.text == "mut" {
+                if let Some(line) = prev_static_line {
+                    out.push(RawFinding {
+                        line,
+                        message: "`static mut` is unsynchronized global state".to_string(),
+                    });
+                }
+            }
+            prev_static_line = (t.text == "static").then_some(t.line);
+        }
+    }
+}

@@ -16,6 +16,7 @@ const RULES: &[(&str, &str)] = &[
     ("entropy_rng", "entropy-rng"),
     ("sim_unwrap", "sim-unwrap"),
     ("event_time_regression", "event-time-regression"),
+    ("shared_mut_parallel", "shared-mut-parallel"),
 ];
 
 fn workspace_root() -> PathBuf {

@@ -1,0 +1,17 @@
+//! Fixture: single-thread interior mutability in sim state.
+
+use std::cell::{Cell, RefCell};
+
+static mut GLOBAL_CYCLE: u64 = 0;
+
+pub struct SliceState {
+    hits: Cell<u64>,
+    inflight: RefCell<Vec<u64>>,
+}
+
+impl SliceState {
+    pub fn record_hit(&self) {
+        self.hits.set(self.hits.get() + 1);
+        self.inflight.borrow_mut().push(self.hits.get());
+    }
+}

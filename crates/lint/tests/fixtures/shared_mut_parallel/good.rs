@@ -1,0 +1,27 @@
+//! Fixture: mutation goes through `&mut self`, and state that genuinely
+//! crosses domain workers sits behind Sync containers. A RefCell or Cell
+//! mentioned in a comment is not a finding.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+pub struct SliceState {
+    hits: u64,
+    // A Cell<u64> here would hide this mutation from the parallel driver.
+    shared_epoch: Arc<AtomicU64>,
+    tables: Arc<RwLock<Vec<u64>>>,
+}
+
+impl SliceState {
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+        self.shared_epoch.store(self.hits, Ordering::Release);
+    }
+
+    pub fn mapped_pages(&self) -> usize {
+        match self.tables.read() {
+            Ok(t) => t.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+}

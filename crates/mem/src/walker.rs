@@ -95,8 +95,9 @@ impl MemorySystem {
         latency_multiplier: u64,
     ) -> WalkResult {
         let outcome = {
-            let (_, table) = self.phys_and_table(asid);
-            table
+            let tables = self.tables_read();
+            tables
+                .get(&asid)
                 .unwrap_or_else(|| panic!("walk in unknown address space {asid}"))
                 .walk(va)
         };

@@ -1,0 +1,97 @@
+//! Per-fabric lookahead bounds (`Interconnect::lookahead`).
+//!
+//! The epoch-parallel driver trusts `lookahead()` as a hard lower bound on
+//! cross-tile latency: a violation would let one domain affect another
+//! inside its supposedly-safe horizon. These tests drive each fabric with
+//! its cheapest possible non-local message and check the bound is both
+//! respected (no earlier delivery) and tight (some delivery achieves it,
+//! so the parallel horizon is as large as the fabric allows).
+
+use nocstar_noc::bus::BusNoc;
+use nocstar_noc::circuit::{AcquireMode, CircuitFabric};
+use nocstar_noc::mesh::{MeshNoc, CYCLES_PER_HOP};
+use nocstar_noc::message::{Message, MsgKind};
+use nocstar_noc::smart::SmartNoc;
+use nocstar_noc::{drain_until_idle, Interconnect};
+use nocstar_types::time::{Cycle, Cycles};
+use nocstar_types::{CoreId, MeshShape};
+
+fn one_hop(id: u64) -> Message {
+    Message::new(id, CoreId::new(0), CoreId::new(1), MsgKind::TlbRequest)
+}
+
+/// Submits a single-hop message at several start cycles (on a fresh
+/// fabric each time, so round-trip reservations cannot interfere) and
+/// asserts every delivery is at least `lookahead` after submission, with
+/// the bound achieved at least once.
+fn check_bound_tight<N: Interconnect>(mut build: impl FnMut() -> N) {
+    let lookahead = build().lookahead();
+    assert!(
+        lookahead >= Cycles::ONE,
+        "cross-tile latency cannot be zero"
+    );
+    let mut achieved = false;
+    for (i, start) in [0u64, 17, 4000].into_iter().enumerate() {
+        let mut noc = build();
+        let submit = Cycle::new(start);
+        noc.submit(submit, one_hop(i as u64));
+        let deliveries = drain_until_idle(&mut noc, submit, 10_000).expect("fabric must quiesce");
+        assert_eq!(deliveries.len(), 1);
+        let at = deliveries[0].at;
+        assert!(
+            at >= submit + lookahead,
+            "delivery at {at:?} violates lookahead {lookahead:?} from {submit:?}"
+        );
+        achieved |= at == submit + lookahead;
+    }
+    assert!(achieved, "lookahead is not tight: no delivery achieved it");
+}
+
+#[test]
+fn bus_lookahead_bounds_deliveries() {
+    assert_eq!(
+        BusNoc::new(MeshShape::square_for(16)).lookahead(),
+        Cycles::ONE
+    );
+    check_bound_tight(|| BusNoc::new(MeshShape::square_for(16)));
+}
+
+#[test]
+fn mesh_lookahead_bounds_deliveries() {
+    let mesh = MeshNoc::contended(MeshShape::square_for(16));
+    assert_eq!(mesh.lookahead(), Cycles::new(CYCLES_PER_HOP));
+    check_bound_tight(|| MeshNoc::contended(MeshShape::square_for(16)));
+    check_bound_tight(|| MeshNoc::contention_free(MeshShape::square_for(16)));
+}
+
+#[test]
+fn smart_lookahead_bounds_deliveries() {
+    // HPCmax=1 is the slowest configuration; the bound must hold for the
+    // fastest too, where a one-hop flit still pays setup + one bypass.
+    for hpc in [1, 8] {
+        let smart = SmartNoc::new(MeshShape::square_for(16), hpc);
+        assert_eq!(smart.lookahead(), Cycles::new(2));
+        check_bound_tight(|| SmartNoc::new(MeshShape::square_for(16), hpc));
+    }
+}
+
+#[test]
+fn circuit_lookahead_bounds_deliveries() {
+    for mode in [AcquireMode::OneWay, AcquireMode::RoundTrip] {
+        let fabric = CircuitFabric::new(MeshShape::square_for(16), 8, mode);
+        assert_eq!(fabric.lookahead(), Cycles::ONE);
+        check_bound_tight(|| CircuitFabric::new(MeshShape::square_for(16), 8, mode));
+    }
+    check_bound_tight(|| CircuitFabric::ideal(MeshShape::square_for(16), 8));
+}
+
+#[test]
+fn local_messages_are_exempt_from_the_bound() {
+    // Same-tile traffic never crosses a domain boundary, so it may (and
+    // does) deliver in the submit cycle, faster than the lookahead.
+    let mut fabric = CircuitFabric::new(MeshShape::square_for(16), 8, AcquireMode::OneWay);
+    let local = Message::new(1, CoreId::new(3), CoreId::new(3), MsgKind::TlbRequest);
+    fabric.submit(Cycle::new(5), local);
+    let d = fabric.advance(Cycle::new(5));
+    assert_eq!(d[0].at, Cycle::new(5));
+}

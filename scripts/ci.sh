@@ -10,9 +10,14 @@
 #                     minutes.
 #   ci.sh --nightly   everything above plus the slow sweeps: chaos
 #                     property suite, fault-sweep smoke, the full
-#                     golden-report determinism sweep, and the
+#                     golden-report determinism sweep, the full
+#                     domain-parallel sweep (domains 2/4/8 on every
+#                     fabric, plus the perf.sh wall-clock gate), and the
 #                     end-to-end trace-replay equivalence check
 #                     (record -> replay -> byte-for-byte report diff).
+#
+# The fast gate already proves 2-domain invariance: tier-1 tests include
+# determinism.rs's two_domain_runs_are_byte_identical_to_sequential.
 #
 # The lint step writes JSON + SARIF reports to target/lint/ so CI can
 # upload them as build artifacts; it exits non-zero on any
@@ -63,6 +68,12 @@ if [[ "$NIGHTLY" == "1" ]]; then
   echo "== nightly: golden-report determinism sweep =="
   cargo test -q --test golden_reports
   cargo test -q --test determinism
+
+  echo "== nightly: full domain-parallel sweep (domains 2/4/8, every fabric) =="
+  cargo test -q --test determinism -- --ignored
+
+  echo "== nightly: domain-parallel wall-clock gate =="
+  NOCSTAR_PERF_ENFORCE=1 scripts/perf.sh --quick
 
   echo "== nightly: trace-replay equivalence (live vs recorded, real binaries) =="
   # Capture the redis preset with the simulator's defaults, then run the

@@ -62,6 +62,27 @@ fn faulted_runs_are_byte_identical_across_repeats() {
 }
 
 #[test]
+fn faulted_runs_are_domain_invariant() {
+    // Fault windows key off simulated cycles, and the parallel driver
+    // replays the exact sequential schedule — so a faulted 4-domain run
+    // must serialize byte-identically to the faulted sequential run.
+    let spec = "seed=7; deny@500-4000; link:*@0-60000=+1; walk@1000-20000=x4; \
+                slice:2@0-30000; storm@0-60000";
+    let faulted_domains = |domains: usize| -> String {
+        let mut config = SystemConfig::new(CORES, TlbOrg::paper_nocstar());
+        config.metrics = true;
+        config.parallel_domains = domains;
+        let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+        Simulation::new(config, workload)
+            .with_faults(spec.parse().expect("spec"))
+            .run(ACCESSES)
+            .to_json()
+            .to_string()
+    };
+    assert_eq!(faulted_domains(1), faulted_domains(4));
+}
+
+#[test]
 fn no_translation_is_lost_under_any_fault_class() {
     // One directed run per fault class, windows covering the entire run.
     // `run` only returns once every thread finished its quota, so a

@@ -61,6 +61,64 @@ fn worker_count_does_not_change_serialized_reports() {
     assert_eq!(serial, pooled);
 }
 
+/// One organization per interconnect model the simulation can drive:
+/// zero-latency (ideal), packet mesh, SMART bypass mesh, and the paper's
+/// circuit-switched fabric. Domain-parallel runs must be invariant on
+/// every one of them, since each fabric has its own lookahead.
+fn fabric_orgs() -> [TlbOrg; 4] {
+    [
+        TlbOrg::paper_ideal(),
+        TlbOrg::paper_distributed(),
+        TlbOrg::Monolithic {
+            entries_per_core: 1024,
+            banks: CORES,
+            net: MonolithicNet::Smart(8),
+            latency_override: None,
+        },
+        TlbOrg::paper_nocstar(),
+    ]
+}
+
+fn report_json_domains(org: TlbOrg, domains: usize) -> String {
+    let mut config = SystemConfig::new(CORES, org);
+    config.metrics = true;
+    config.trace_capacity = 256;
+    config.parallel_domains = domains;
+    let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+    Simulation::new(config, workload)
+        .run_measured(WARMUP, MEASURE)
+        .to_json()
+        .to_string()
+}
+
+#[test]
+fn two_domain_runs_are_byte_identical_to_sequential() {
+    for org in fabric_orgs() {
+        assert_eq!(
+            report_json_domains(org, 1),
+            report_json_domains(org, 2),
+            "2-domain run diverged for {}",
+            org.label()
+        );
+    }
+}
+
+#[test]
+#[ignore = "nightly: full domain sweep over every fabric"]
+fn domain_sweep_is_byte_identical_to_sequential() {
+    for org in fabric_orgs() {
+        let sequential = report_json_domains(org, 1);
+        for domains in [2, 4, 8] {
+            assert_eq!(
+                sequential,
+                report_json_domains(org, domains),
+                "{domains}-domain run diverged for {}",
+                org.label()
+            );
+        }
+    }
+}
+
 #[test]
 fn metrics_and_tracing_do_not_change_simulated_time() {
     for org in all_orgs() {
