@@ -11,8 +11,10 @@
 //!
 //! * `--cores <n>` — core count (default 256).
 //! * `--org <name>` — `ideal`, `distributed` (packet mesh), `smart`
-//!   (monolithic over a SMART mesh) or `nocstar` (circuit fabric);
-//!   default `distributed`.
+//!   (monolithic over a SMART mesh), `nocstar` (circuit fabric) or `hier`
+//!   (clustered bus + mesh overlay); default `distributed`.
+//! * `--cluster-size <n>` — tiles per cluster for `--org hier`
+//!   (default 16; must evenly divide `--cores`).
 //! * `--parallel-domains <n>[,<n>...]` — simulation domain counts
 //!   (default `1`). With several values the repetitions interleave
 //!   across them round-robin, so slow host phases (VM steal, frequency
@@ -44,7 +46,7 @@ fn flag_u64(args: &[String], name: &str, default: u64) -> u64 {
     }
 }
 
-fn parse_org(name: &str, cores: usize) -> TlbOrg {
+fn parse_org(name: &str, cores: usize, cluster_size: usize) -> TlbOrg {
     match name {
         "ideal" => TlbOrg::paper_ideal(),
         "distributed" => TlbOrg::paper_distributed(),
@@ -55,8 +57,12 @@ fn parse_org(name: &str, cores: usize) -> TlbOrg {
             latency_override: None,
         },
         "nocstar" => TlbOrg::paper_nocstar(),
+        "hier" => TlbOrg::paper_hier(cluster_size),
         other => {
-            eprintln!("error: unknown --org {other:?} (expected ideal|distributed|smart|nocstar)");
+            eprintln!(
+                "error: unknown --org {other:?} \
+                 (expected ideal|distributed|smart|nocstar|hier)"
+            );
             std::process::exit(2);
         }
     }
@@ -65,8 +71,9 @@ fn parse_org(name: &str, cores: usize) -> TlbOrg {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let cores = flag_u64(&args, "--cores", 256) as usize;
+    let cluster_size = flag_u64(&args, "--cluster-size", 16) as usize;
     let org_name = flag(&args, "--org").unwrap_or_else(|| "distributed".into());
-    let org = parse_org(&org_name, cores);
+    let org = parse_org(&org_name, cores, cluster_size);
     let domain_list: Vec<usize> = flag(&args, "--parallel-domains")
         .unwrap_or_else(|| "1".into())
         .split(',')

@@ -8,7 +8,7 @@ type Step = (&'static str, fn(Effort));
 fn main() {
     let effort = Effort::from_env();
     let t0 = std::time::Instant::now();
-    let steps: [Step; 23] = [
+    let steps: [Step; 24] = [
         ("table1", ex::table1::run),
         ("table2", ex::table2::run),
         ("fig03", ex::fig03::run),
@@ -30,6 +30,7 @@ fn main() {
         ("slice_ubench", ex::slice_ubench::run),
         ("table3", ex::table3::run),
         ("ablation", ex::ablation::run),
+        ("scaleup", ex::scaleup::run),
         ("fig18", ex::fig18::run),
         ("faultsweep", ex::faultsweep::run),
     ];

@@ -1,0 +1,4 @@
+//! Regenerates the 64-1024 core scale-up study; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::scaleup::run(nocstar_bench::Effort::from_env());
+}

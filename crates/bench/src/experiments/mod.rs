@@ -65,6 +65,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod replay;
+pub mod scaleup;
 pub mod slice_ubench;
 pub mod table1;
 pub mod table2;

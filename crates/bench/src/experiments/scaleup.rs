@@ -1,0 +1,76 @@
+//! Scale-up study for the hierarchical cluster fabric (DESIGN.md §13):
+//! average translation latency of the flat-mesh distributed L2, the
+//! SMART-connected monolithic L2, and the hierarchical cluster fabric as
+//! the chip grows from 64 to 1024 cores.
+//!
+//! The flat mesh pays ~`2 * sqrt(N)` cycles per lookup at N cores; the
+//! hierarchical fabric keeps every lookup inside a one-cycle cluster bus
+//! and rides the overlay only for shootdown invalidations, so its curve
+//! should stay flat. The `hier/mesh` column makes the crossover explicit
+//! (`claim_hier_beats_flat_mesh_at_scale` pins it at 512+ cores).
+
+use crate::{emit, parallel_map, Effort};
+use nocstar::prelude::*;
+
+/// Tiles per cluster for the `hier` column (the paper-style default).
+const CLUSTER: usize = 16;
+
+fn orgs(cores: usize) -> [(&'static str, TlbOrg); 3] {
+    [
+        ("mesh (flat)", TlbOrg::paper_distributed()),
+        (
+            "smart",
+            TlbOrg::Monolithic {
+                entries_per_core: 1024,
+                banks: cores,
+                net: MonolithicNet::Smart(8),
+                latency_override: None,
+            },
+        ),
+        ("hier", TlbOrg::paper_hier(CLUSTER)),
+    ]
+}
+
+/// Regenerates the scale-up table.
+pub fn run(effort: Effort) {
+    let core_counts: &[usize] = if effort.quick {
+        &[64, 256, 1024]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
+    // Per-thread access counts stay small: total work already scales with
+    // the core count, and latency means converge within a few hundred
+    // accesses per thread.
+    let scaled = Effort {
+        warmup: if effort.quick { 150 } else { 300 },
+        accesses: if effort.quick { 350 } else { 700 },
+        quick: effort.quick,
+    };
+    let jobs: Vec<(usize, usize)> = core_counts
+        .iter()
+        .flat_map(|&cores| (0..orgs(cores).len()).map(move |i| (cores, i)))
+        .collect();
+    let latencies = parallel_map(jobs.clone(), |&(cores, i)| {
+        let (_, org) = orgs(cores)[i];
+        scaled
+            .run(cores, org, Preset::Redis)
+            .translation_latency
+            .mean()
+    });
+    let mut table = Table::new(["cores", "mesh (flat)", "smart", "hier", "hier/mesh"]);
+    for (row, &cores) in core_counts.iter().enumerate() {
+        let at = |i: usize| latencies[row * 3 + i];
+        table.row([
+            cores.to_string(),
+            format!("{:.2}", at(0)),
+            format!("{:.2}", at(1)),
+            format!("{:.2}", at(2)),
+            format!("{:.3}", at(2) / at(0)),
+        ]);
+    }
+    emit(
+        "scaleup",
+        "Scale-up: avg translation latency (cycles) per fabric, 64-1024 cores (redis)",
+        &table,
+    );
+}

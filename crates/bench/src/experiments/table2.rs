@@ -18,6 +18,7 @@ pub fn run(_effort: Effort) {
         TlbOrg::paper_monolithic(cores),
         TlbOrg::paper_distributed(),
         TlbOrg::paper_nocstar(),
+        TlbOrg::paper_hier(16),
     ] {
         let (entries, phys, net) = match org {
             TlbOrg::Private { entries, .. } => {
@@ -50,6 +51,15 @@ pub fn run(_effort: Effort) {
                 format!("{slice_entries} x NumCores"),
                 "1 slice per core".into(),
                 "zero-latency (ideal)".into(),
+            ),
+            TlbOrg::Hier {
+                slice_entries,
+                cluster_size,
+                ..
+            } => (
+                format!("{slice_entries} x NumCores"),
+                format!("1 slice per core, clusters of {cluster_size}"),
+                "bus/xbar intra-cluster + mesh/SMART overlay".into(),
             ),
         };
         table.row([org.label().to_string(), entries, phys, net]);

@@ -2,6 +2,7 @@
 
 use nocstar_mem::walker::WalkLatency;
 use nocstar_noc::circuit::AcquireMode;
+use nocstar_noc::hier::{InterKind, IntraKind};
 use nocstar_tlb::l1::L1Config;
 use nocstar_tlb::prefetch::PrefetchDepth;
 use nocstar_tlb::shootdown::LeaderPolicy;
@@ -77,6 +78,23 @@ pub enum TlbOrg {
         /// Entries per slice.
         slice_entries: usize,
     },
+    /// Per-core shared slices over a two-level hierarchical fabric
+    /// (`DESIGN.md §13`): clusters of `cluster_size` tiles with an
+    /// intra-cluster bus/crossbar and a mesh/SMART overlay between
+    /// cluster gateways. Homing is cluster-local: a core's set ranges
+    /// map to slices in its own cluster, so lookups never pay overlay
+    /// latency (capacity is shared per cluster, not chip-wide).
+    Hier {
+        /// Entries per slice (1024).
+        slice_entries: usize,
+        /// Tiles per cluster (`--cluster-size`, default 16); must evenly
+        /// divide the core count.
+        cluster_size: usize,
+        /// Intra-cluster fabric.
+        intra: IntraKind,
+        /// Inter-cluster overlay.
+        inter: InterKind,
+    },
 }
 
 impl TlbOrg {
@@ -127,6 +145,17 @@ impl TlbOrg {
         }
     }
 
+    /// The hierarchical scale-up configuration: 1024-entry slices,
+    /// cluster-local bus, contended mesh overlay between gateways.
+    pub fn paper_hier(cluster_size: usize) -> Self {
+        TlbOrg::Hier {
+            slice_entries: 1024,
+            cluster_size,
+            intra: IntraKind::Bus,
+            inter: InterKind::Mesh,
+        }
+    }
+
     /// Whether this organization shares L2 capacity among cores.
     pub fn is_shared(&self) -> bool {
         !matches!(self, TlbOrg::Private { .. })
@@ -147,6 +176,15 @@ impl TlbOrg {
             } => "nocstar(ideal)",
             TlbOrg::Nocstar { .. } => "nocstar",
             TlbOrg::IdealShared { .. } => "ideal",
+            TlbOrg::Hier {
+                inter: InterKind::Smart(_),
+                ..
+            } => "hier(SMART)",
+            TlbOrg::Hier {
+                intra: IntraKind::Xbar,
+                ..
+            } => "hier(xbar)",
+            TlbOrg::Hier { .. } => "hier",
         }
     }
 }
@@ -314,6 +352,26 @@ impl SystemConfig {
                 );
                 assert!(hpc_max > 0, "HPCmax must be nonzero");
             }
+            TlbOrg::Hier {
+                slice_entries,
+                cluster_size,
+                inter,
+                ..
+            } => {
+                assert!(
+                    slice_entries > 0 && slice_entries % TlbOrg::WAYS == 0,
+                    "bad slice size"
+                );
+                assert!(
+                    cluster_size > 0
+                        && cluster_size <= self.cores
+                        && self.cores.is_multiple_of(cluster_size),
+                    "cluster size must evenly partition the cores"
+                );
+                if let InterKind::Smart(hpc) = inter {
+                    assert!(hpc > 0, "HPCmax must be nonzero");
+                }
+            }
         }
     }
 }
@@ -356,6 +414,21 @@ mod tests {
             TlbOrg::paper_distributed().label(),
             TlbOrg::paper_nocstar().label(),
             TlbOrg::paper_ideal().label(),
+            TlbOrg::paper_hier(16).label(),
+            TlbOrg::Hier {
+                slice_entries: 1024,
+                cluster_size: 16,
+                intra: IntraKind::Xbar,
+                inter: InterKind::Mesh,
+            }
+            .label(),
+            TlbOrg::Hier {
+                slice_entries: 1024,
+                cluster_size: 16,
+                intra: IntraKind::Bus,
+                inter: InterKind::Smart(8),
+            }
+            .label(),
         ];
         let set: std::collections::HashSet<_> = labels.iter().collect();
         assert_eq!(set.len(), labels.len());
@@ -384,10 +457,17 @@ mod tests {
                 TlbOrg::paper_distributed(),
                 TlbOrg::paper_nocstar(),
                 TlbOrg::paper_ideal(),
+                TlbOrg::paper_hier(16),
             ] {
                 SystemConfig::new(cores, org).validate();
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly partition")]
+    fn ragged_cluster_size_rejected() {
+        SystemConfig::new(24, TlbOrg::paper_hier(16)).validate();
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! The interconnect instance a simulated system drives.
 //!
-//! Wraps the three network models behind one enum (plus `None` for the
+//! Wraps the network models behind one enum (plus `None` for the
 //! private and zero-latency-ideal organizations) so the simulation loop is
 //! organization-agnostic.
 
 use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, SimError};
 use nocstar_noc::circuit::{AcquireMode, CircuitFabric};
+use nocstar_noc::hier::HierNoc;
 use nocstar_noc::mesh::MeshNoc;
 use nocstar_noc::message::{Delivery, Message, MsgKind};
 use nocstar_noc::smart::SmartNoc;
@@ -14,6 +15,10 @@ use nocstar_types::time::Cycle;
 use nocstar_types::MeshShape;
 
 /// The network under an L2 TLB organization.
+// One instance exists per simulation, so the variant size skew (HierNoc
+// aggregates per-cluster fabrics) costs nothing worth a box's
+// indirection on the per-cycle advance path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum NetworkModel {
     /// No network (private TLBs, or the zero-latency ideal).
@@ -24,6 +29,8 @@ pub enum NetworkModel {
     Smart(SmartNoc),
     /// The NOCSTAR circuit-switched fabric.
     Circuit(CircuitFabric),
+    /// The two-level hierarchical fabric (`hier` organizations).
+    Hier(HierNoc),
 }
 
 impl NetworkModel {
@@ -58,6 +65,7 @@ impl NetworkModel {
             NetworkModel::Mesh(n) => n.submit(now, msg),
             NetworkModel::Smart(n) => n.submit(now, msg),
             NetworkModel::Circuit(n) => n.submit(now, msg),
+            NetworkModel::Hier(n) => n.submit(now, msg),
         }
     }
 
@@ -90,6 +98,7 @@ impl NetworkModel {
             NetworkModel::Mesh(n) => n.advance(cycle),
             NetworkModel::Smart(n) => n.advance(cycle),
             NetworkModel::Circuit(n) => n.advance(cycle),
+            NetworkModel::Hier(n) => n.advance(cycle),
         }
     }
 
@@ -100,6 +109,7 @@ impl NetworkModel {
             NetworkModel::Mesh(n) => n.next_activity(),
             NetworkModel::Smart(n) => n.next_activity(),
             NetworkModel::Circuit(n) => n.next_activity(),
+            NetworkModel::Hier(n) => n.next_activity(),
         }
     }
 
@@ -110,6 +120,7 @@ impl NetworkModel {
             NetworkModel::Mesh(n) => n.reset_stats(),
             NetworkModel::Smart(n) => n.reset_stats(),
             NetworkModel::Circuit(n) => n.reset_stats(),
+            NetworkModel::Hier(n) => n.reset_stats(),
         }
     }
 
@@ -120,6 +131,7 @@ impl NetworkModel {
             NetworkModel::Mesh(n) => Some(n.stats()),
             NetworkModel::Smart(n) => Some(n.stats()),
             NetworkModel::Circuit(n) => Some(n.stats()),
+            NetworkModel::Hier(n) => Some(n.stats()),
         }
     }
 
@@ -130,6 +142,7 @@ impl NetworkModel {
             NetworkModel::Mesh(n) => n.install_faults(plan),
             NetworkModel::Smart(n) => n.install_faults(plan),
             NetworkModel::Circuit(n) => n.install_faults(plan),
+            NetworkModel::Hier(n) => n.install_faults(plan),
         }
     }
 
@@ -140,6 +153,7 @@ impl NetworkModel {
             NetworkModel::Mesh(n) => n.fault_stats(),
             NetworkModel::Smart(n) => n.fault_stats(),
             NetworkModel::Circuit(n) => n.fault_stats(),
+            NetworkModel::Hier(n) => n.fault_stats(),
         }
     }
 
@@ -153,6 +167,7 @@ impl NetworkModel {
             NetworkModel::Mesh(n) => n.diagnostics(cycle),
             NetworkModel::Smart(n) => n.diagnostics(cycle),
             NetworkModel::Circuit(n) => n.diagnostics(cycle),
+            NetworkModel::Hier(n) => n.diagnostics(cycle),
         }
     }
 }

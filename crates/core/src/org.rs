@@ -66,7 +66,8 @@ impl OrgState {
             }
             TlbOrg::Distributed { slice_entries }
             | TlbOrg::IdealShared { slice_entries }
-            | TlbOrg::Nocstar { slice_entries, .. } => (
+            | TlbOrg::Nocstar { slice_entries, .. }
+            | TlbOrg::Hier { slice_entries, .. } => (
                 (0..cores)
                     .map(|_| TlbSlice::new(slice_entries, TlbOrg::WAYS, ports))
                     .collect(),
@@ -76,8 +77,13 @@ impl OrgState {
         };
         let mut structures = structures;
         // Slices/banks are homed by vpn % count; their set index must
-        // discard those stripe bits or most sets go unused.
-        let divisor = structures.len() as u64;
+        // discard those stripe bits or most sets go unused. Hier homes by
+        // vpn % cluster_size (each cluster replicates the residue map),
+        // so only the intra-cluster stripe bits are discarded.
+        let divisor = match config.org {
+            TlbOrg::Hier { cluster_size, .. } => cluster_size as u64,
+            _ => structures.len() as u64,
+        };
         if config.org.is_shared() {
             for s in &mut structures {
                 s.set_index_divisor(divisor);
@@ -119,10 +125,31 @@ impl OrgState {
                 let b = indexing::bank_for(vpn, banks).index();
                 (b, self.tiles[b])
             }
+            TlbOrg::Hier { cluster_size, .. } => {
+                let s = indexing::cluster_home_for(vpn, requester, cluster_size).index();
+                (s, self.tiles[s])
+            }
             _ => {
                 let s = indexing::slice_for(vpn, self.cores).index();
                 (s, self.tiles[s])
             }
+        }
+    }
+
+    /// Every structure that may hold `vpn`, with its tile. One home for
+    /// the flat shared organizations; one per *cluster* for `hier`, where
+    /// each cluster replicates the residue map. Shootdowns must reach all
+    /// of them. (Private organizations invalidate all cores instead.)
+    pub fn homes_of(&self, vpn: VirtPageNum) -> Vec<(usize, CoreId)> {
+        match self.org {
+            TlbOrg::Hier { cluster_size, .. } => (0..self.cores / cluster_size)
+                .map(|k| {
+                    let gw = CoreId::new(k * cluster_size);
+                    let s = indexing::cluster_home_for(vpn, gw, cluster_size).index();
+                    (s, self.tiles[s])
+                })
+                .collect(),
+            _ => vec![self.home_of(vpn, CoreId::new(0))],
         }
     }
 
@@ -163,8 +190,12 @@ impl OrgState {
                 any
             }
             _ => {
-                let (idx, _) = self.home_of(vpn, CoreId::new(0));
-                self.structures[idx].invalidate(asid, vpn)
+                // One home per flat organization; one per cluster for hier.
+                let mut any = false;
+                for (idx, _) in self.homes_of(vpn) {
+                    any |= self.structures[idx].invalidate(asid, vpn);
+                }
+                any
             }
         }
     }
@@ -278,6 +309,52 @@ mod tests {
         }
         assert!(org.invalidate(Asid::new(1), v4k(9)));
         assert_eq!(org.occupancy(), 0);
+    }
+
+    #[test]
+    fn hier_homes_are_cluster_local() {
+        let org = OrgState::new(&SystemConfig::new(64, TlbOrg::paper_hier(16)));
+        assert_eq!(org.count(), 64);
+        for c in [0usize, 15, 16, 37, 63] {
+            let (idx, tile) = org.home_of(v4k(37), CoreId::new(c));
+            assert_eq!(idx / 16, c / 16, "home stays in the requester's cluster");
+            assert_eq!(tile.index(), idx);
+            // Residue within the cluster matches the flat stripe rule.
+            assert_eq!(idx % 16, 37 % 16);
+        }
+    }
+
+    #[test]
+    fn hier_set_index_discards_only_cluster_stripe_bits() {
+        // With 64 slices but cluster_size 4, pages striding by 4 land in
+        // the same slice and must fill distinct sets, not one set.
+        let mut org = OrgState::new(&SystemConfig::new(
+            64,
+            TlbOrg::Hier {
+                slice_entries: 1024,
+                cluster_size: 4,
+                intra: nocstar_noc::hier::IntraKind::Bus,
+                inter: nocstar_noc::hier::InterKind::Mesh,
+            },
+        ));
+        let sets = 1024 / TlbOrg::WAYS;
+        let (idx, _) = org.home_of(v4k(0), CoreId::new(0));
+        for i in 0..sets as u64 {
+            org.structure_mut(idx).insert(entry(i * 4));
+        }
+        assert_eq!(org.structure(idx).array().occupancy(), sets);
+    }
+
+    #[test]
+    fn hier_invalidation_reaches_every_cluster_replica() {
+        let mut org = OrgState::new(&SystemConfig::new(64, TlbOrg::paper_hier(16)));
+        let homes = org.homes_of(v4k(7));
+        assert_eq!(homes.len(), 4, "one replica slice per cluster");
+        for &(idx, _) in &homes {
+            org.structure_mut(idx).insert(entry(7));
+        }
+        assert!(org.invalidate(Asid::new(1), v4k(7)));
+        assert_eq!(org.occupancy(), 0, "all replicas invalidated");
     }
 
     #[test]

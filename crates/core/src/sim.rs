@@ -16,6 +16,7 @@ use nocstar_energy::account::EnergyAccount;
 use nocstar_energy::model::{self, NocDesign};
 use nocstar_faults::{DiagSnapshot, FaultPlan, SimError};
 use nocstar_mem::hierarchy::{MemoryConfig, MemorySystem, ServicedBy, SharedTables};
+use nocstar_noc::hier::HierNoc;
 use nocstar_noc::mesh::MeshNoc;
 use nocstar_noc::message::{Delivery, Message, MsgKind};
 use nocstar_noc::smart::SmartNoc;
@@ -409,6 +410,12 @@ impl Simulation {
                 ideal_fabric,
                 ..
             } => NetworkModel::nocstar(mesh, hpc_max, acquire, ideal_fabric),
+            TlbOrg::Hier {
+                cluster_size,
+                intra,
+                inter,
+                ..
+            } => NetworkModel::Hier(HierNoc::new(config.cores, cluster_size, intra, inter)),
         };
         let energy_design = match config.org {
             TlbOrg::Monolithic {
@@ -416,7 +423,9 @@ impl Simulation {
             } => Some(NocDesign::Monolithic {
                 total_entries: entries_per_core * config.cores,
             }),
-            TlbOrg::Distributed { slice_entries } => Some(NocDesign::Distributed { slice_entries }),
+            TlbOrg::Distributed { slice_entries } | TlbOrg::Hier { slice_entries, .. } => {
+                Some(NocDesign::Distributed { slice_entries })
+            }
             TlbOrg::Nocstar { slice_entries, .. } => Some(NocDesign::Nocstar { slice_entries }),
             _ => None,
         };
@@ -1091,6 +1100,18 @@ impl Simulation {
         let Some(TxState::Lookup(mut lookup)) = self.txs.get(&id).copied() else {
             return Err(self.protocol_error(format!("walk for unknown transaction {id}")));
         };
+        // Cluster-homed organizations may shift the walk to the home
+        // tile's walker when it is free strictly earlier; both candidates
+        // are in the requester's cluster, so no overlay traffic is added.
+        let walk_core = match self.config.org {
+            TlbOrg::Hier { cluster_size, .. } => nocstar_mem::walker::cluster_walker(
+                walk_core,
+                lookup.home_tile,
+                cluster_size,
+                &self.walker_free,
+            ),
+            _ => walk_core,
+        };
         let start = self.now.max(self.walker_free[walk_core.index()]);
         let multiplier = if self.faults.is_empty() {
             1
@@ -1308,6 +1329,47 @@ impl Simulation {
                 // (private), or the slice is reached with zero latency.
                 self.org.invalidate(asid, vpn);
             }
+            TlbOrg::Hier { .. } => {
+                // Every cluster replicates the residue map, so each
+                // cluster's home slice must be invalidated. Leader
+                // policies are bypassed: the natural relay tree is the
+                // cluster itself — under a broadcast each core messages
+                // its *own* cluster's home (all traffic intra-cluster);
+                // otherwise the initiator fans out one invalidation per
+                // cluster replica (the only traffic class that rides the
+                // overlay).
+                let inv = Invalidation { asid, vpn };
+                let targets: Vec<(CoreId, usize, CoreId)> = if ipi_broadcast {
+                    CoreId::all(self.config.cores)
+                        .map(|core| {
+                            let (home_idx, home_tile) = self.org.home_of(vpn, core);
+                            (core, home_idx, home_tile)
+                        })
+                        .collect()
+                } else {
+                    self.org
+                        .homes_of(vpn)
+                        .into_iter()
+                        .map(|(home_idx, home_tile)| (initiator, home_idx, home_tile))
+                        .collect()
+                };
+                for (src, home_idx, home_tile) in targets {
+                    let id = self.alloc_tx();
+                    self.txs.insert(
+                        id,
+                        TxState::Inval {
+                            inv,
+                            home_idx,
+                            at_leader: true,
+                        },
+                    );
+                    self.charge_message(src, home_tile);
+                    self.net.submit(
+                        self.now,
+                        Message::new(id, src, home_tile, MsgKind::Invalidation),
+                    );
+                }
+            }
             TlbOrg::Monolithic { .. } | TlbOrg::Distributed { .. } | TlbOrg::Nocstar { .. } => {
                 if matches!(self.net, NetworkModel::None) {
                     // Zero-latency interconnect variants invalidate directly.
@@ -1455,6 +1517,27 @@ impl Simulation {
             self.metrics.set_gauge(g, occupancy);
             let h = self.metrics.histogram(&format!("l2.{i}.queue_wait_cycles"));
             self.metrics.merge_histogram(h, &waits);
+        }
+        // Per-cluster aggregates for hierarchical organizations: slice
+        // hit/miss and occupancy rolled up over each cluster's slices, so
+        // a 1024-core report stays readable at cluster granularity.
+        if let TlbOrg::Hier { cluster_size, .. } = self.config.org {
+            let per_slice = self.org.per_structure_stats();
+            for k in 0..self.config.cores / cluster_size {
+                let slices = k * cluster_size..(k + 1) * cluster_size;
+                let (mut hits, mut misses, mut occupancy) = (0u64, 0u64, 0u64);
+                for i in slices {
+                    hits += per_slice[i].hits();
+                    misses += per_slice[i].misses();
+                    occupancy += self.org.structure(i).array().occupancy() as u64;
+                }
+                let c = self.metrics.counter(&format!("cluster.{k}.l2_hits"));
+                self.metrics.add(c, hits);
+                let c = self.metrics.counter(&format!("cluster.{k}.l2_misses"));
+                self.metrics.add(c, misses);
+                let g = self.metrics.gauge(&format!("cluster.{k}.occupancy"));
+                self.metrics.set_gauge(g, occupancy);
+            }
         }
         let walk_latency = *self.mem.walk_latency_histogram();
         let h = self.metrics.histogram("mem.walk_latency_cycles");

@@ -111,6 +111,20 @@ pub struct SliceOffline {
     pub window: CycleWindow,
 }
 
+/// A whole-cluster-offline window for hierarchical organizations: every
+/// slice of cluster `cluster` (under clusters of `size` contiguous
+/// tiles) is offline, miss-only, over the window. Self-contained — the
+/// clause carries its own cluster size, so parsing stays order-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterOffline {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Tiles per cluster the index refers to.
+    pub size: usize,
+    /// When the cluster is offline.
+    pub window: CycleWindow,
+}
+
 /// How a fault-blocked message retries before escaping to the slow path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -149,6 +163,8 @@ pub struct FaultPlan {
     pub walk_spikes: Vec<WalkSpike>,
     /// Slice-offline (miss-only) windows.
     pub slice_offline: Vec<SliceOffline>,
+    /// Whole-cluster-offline windows (hierarchical organizations).
+    pub cluster_offline: Vec<ClusterOffline>,
     /// Shootdown storms: every shootdown initiated inside a storm window
     /// is escalated to a full IPI broadcast, layering relay traffic on
     /// the configured leader policy.
@@ -173,6 +189,7 @@ impl FaultPlan {
                 .iter()
                 .all(|s| s.window.is_empty() || s.multiplier <= 1)
             && self.slice_offline.iter().all(|s| s.window.is_empty())
+            && self.cluster_offline.iter().all(|c| c.window.is_empty())
             && self.shootdown_storms.iter().all(|w| w.is_empty())
     }
 
@@ -237,12 +254,17 @@ impl FaultPlan {
             .max(1)
     }
 
-    /// Whether structure `slice` is offline (miss-only) at `cycle`.
+    /// Whether structure `slice` is offline (miss-only) at `cycle`,
+    /// either individually or because its whole cluster is.
     #[inline]
     pub fn slice_offline(&self, slice: usize, cycle: u64) -> bool {
         self.slice_offline
             .iter()
             .any(|s| s.slice == slice && s.window.contains(cycle))
+            || self
+                .cluster_offline
+                .iter()
+                .any(|c| slice / c.size == c.cluster && c.window.contains(cycle))
     }
 
     /// Whether a shootdown storm is active at `cycle`.
@@ -288,6 +310,11 @@ impl FaultPlan {
                 out.push(format!("slice:{}=offline", s.slice));
             }
         }
+        for c in &self.cluster_offline {
+            if c.window.contains(cycle) {
+                out.push(format!("cluster:{}/{}=offline", c.cluster, c.size));
+            }
+        }
         if self.storm_active(cycle) {
             out.push("shootdown-storm".to_string());
         }
@@ -307,6 +334,7 @@ impl FaultPlan {
     /// | `link:L@S-E=+N` | `N` extra cycles per traversal of link `L` |
     /// | `walk@S-E=xM` | walks started in `[S, E)` cost `M`x latency |
     /// | `slice:I@S-E` | structure `I` offline (miss-only) over `[S, E)` |
+    /// | `cluster:K/S@A-B` | every slice of cluster `K` (size `S` tiles) offline over `[A, B)` |
     /// | `storm@S-E` | shootdowns in `[S, E)` escalate to IPI broadcast |
     ///
     /// # Errors
@@ -356,6 +384,24 @@ impl FaultPlan {
             self.walk_spikes.push(WalkSpike {
                 window: parse_window(win)?,
                 multiplier: parse_u64(mult)?.max(1),
+            });
+            return Ok(());
+        }
+        if let Some(v) = clause.strip_prefix("cluster:") {
+            let (sel, win) = v
+                .split_once('@')
+                .ok_or_else(|| "expected `cluster:K/S@A-B`".to_string())?;
+            let (cluster, size) = sel
+                .split_once('/')
+                .ok_or_else(|| "expected cluster selector `K/S`".to_string())?;
+            let size = parse_u64(size)? as usize;
+            if size == 0 {
+                return Err("cluster size must be nonzero".to_string());
+            }
+            self.cluster_offline.push(ClusterOffline {
+                cluster: parse_u64(cluster)? as usize,
+                size,
+                window: parse_window(win)?,
             });
             return Ok(());
         }
@@ -767,7 +813,7 @@ mod tests {
     fn spec_round_trips_every_clause_kind() {
         let plan = FaultPlan::parse(
             "seed=9; retry=4; deny@100-200; link:*@50-80=off; link:3@10-20=+2; \
-             walk@0-1000=x8; slice:1@300-400; storm@500-600",
+             walk@0-1000=x8; slice:1@300-400; cluster:2/16@700-800; storm@500-600",
         )
         .unwrap();
         assert_eq!(plan.seed, 9);
@@ -778,6 +824,11 @@ mod tests {
         assert_eq!(plan.walk_multiplier(500), 8);
         assert!(plan.slice_offline(1, 350));
         assert!(plan.storm_active(550));
+        // Cluster 2 of size 16 covers slices 32..48, only inside its window.
+        assert!(plan.slice_offline(32, 750));
+        assert!(plan.slice_offline(47, 750));
+        assert!(!plan.slice_offline(48, 750));
+        assert!(!plan.slice_offline(32, 800));
         let inf: FaultPlan = "retry=inf".parse().unwrap();
         assert_eq!(inf.retry.max_attempts, None);
         assert!(inf.is_empty());
@@ -794,6 +845,9 @@ mod tests {
             "walk@0-5=8",
             "slice:@0-5",
             "seed=abc",
+            "cluster:2@0-5",
+            "cluster:2/0@0-5",
+            "cluster:x/16@0-5",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should be rejected");
         }
@@ -801,10 +855,12 @@ mod tests {
 
     #[test]
     fn active_faults_are_labelled() {
-        let plan = FaultPlan::parse("deny@0-10; slice:2@0-10; walk@0-10=x4").unwrap();
+        let plan =
+            FaultPlan::parse("deny@0-10; slice:2@0-10; cluster:1/8@0-10; walk@0-10=x4").unwrap();
         let active = plan.active_at(5);
         assert!(active.contains(&"setup-denial".to_string()));
         assert!(active.contains(&"slice:2=offline".to_string()));
+        assert!(active.contains(&"cluster:1/8=offline".to_string()));
         assert!(active.contains(&"walk=x4".to_string()));
         assert!(plan.active_at(10).is_empty());
     }

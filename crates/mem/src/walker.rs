@@ -9,7 +9,7 @@
 //! cache traversal.
 
 use crate::hierarchy::{MemorySystem, ServicedBy};
-use nocstar_types::time::Cycles;
+use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::{Asid, CoreId, PhysPageNum, VirtAddr, VirtPageNum};
 
 /// How page-walk latency is charged.
@@ -45,6 +45,37 @@ impl WalkResult {
         self.pte_reads
             .iter()
             .any(|s| matches!(s, ServicedBy::Llc | ServicedBy::Dram))
+    }
+}
+
+/// Picks the core to run a walk on under hierarchical (cluster-homed)
+/// organizations. The preferred core — the requester or the home-slice
+/// tile, per the Fig 17 policy — keeps its warm paging-structure cache,
+/// so it wins unless another intra-cluster candidate's walker frees up
+/// strictly earlier: the home tile is considered as the one alternative
+/// (its PWC is warm for pages homed there), trading a colder PWC for not
+/// queueing behind the preferred core's busy walker.
+///
+/// Both candidates are in the requester's cluster by construction (the
+/// home is cluster-local), so walk placement never adds overlay traffic.
+pub fn cluster_walker(
+    preferred: CoreId,
+    home: CoreId,
+    cluster_size: usize,
+    walker_free: &[Cycle],
+) -> CoreId {
+    if cluster_size <= 1 || preferred == home {
+        return preferred;
+    }
+    debug_assert_eq!(
+        preferred.index() / cluster_size,
+        home.index() / cluster_size,
+        "cluster walk placement requires cluster-local homes"
+    );
+    if walker_free[home.index()] < walker_free[preferred.index()] {
+        home
+    } else {
+        preferred
     }
 }
 
@@ -283,6 +314,28 @@ mod tests {
         assert_eq!(spiked.latency, Cycles::new(160));
         // The recorded walk-latency distribution reflects the spike.
         assert_eq!(mem.walk_latency_histogram().max(), Some(160));
+    }
+
+    #[test]
+    fn cluster_walker_prefers_the_warm_pwc_on_ties() {
+        let free = vec![Cycle::new(10); 4];
+        let (req, home) = (CoreId::new(1), CoreId::new(3));
+        // Equal availability: the preferred core keeps the walk.
+        assert_eq!(cluster_walker(req, home, 4, &free), req);
+    }
+
+    #[test]
+    fn cluster_walker_steals_only_a_strictly_earlier_walker() {
+        let mut free = vec![Cycle::new(10); 4];
+        free[3] = Cycle::new(5);
+        let (req, home) = (CoreId::new(1), CoreId::new(3));
+        assert_eq!(cluster_walker(req, home, 4, &free), home);
+        // With the imbalance reversed, the preferred core stays.
+        free[3] = Cycle::new(50);
+        assert_eq!(cluster_walker(req, home, 4, &free), req);
+        // Degenerate clusters never move the walk.
+        assert_eq!(cluster_walker(req, req, 4, &free), req);
+        assert_eq!(cluster_walker(req, home, 1, &free), req);
     }
 
     #[test]

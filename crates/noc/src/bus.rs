@@ -175,10 +175,14 @@ impl Interconnect for BusNoc {
 
     fn next_activity(&self) -> Option<Cycle> {
         let flight = self.in_flight.map(|(_, at, _)| at);
-        let queue = self
-            .pending
-            .front()
-            .map(|&(_, at, _)| at.max(self.next_try));
+        // A queued message cannot be granted while a broadcast occupies the
+        // bus, so its earliest activity is the in-flight arrival: reporting
+        // it at its submit cycle would make an event loop that trusts
+        // next_activity() spin without progress.
+        let queue = self.pending.front().map(|&(_, at, _)| {
+            let at = at.max(self.next_try);
+            flight.map_or(at, |f| at.max(f))
+        });
         let local = self.local_ready.iter().map(|&(_, at)| at).min();
         let escape = self.escaped.iter().map(|&(_, at, _)| at).min();
         [flight, queue, local, escape].into_iter().flatten().min()

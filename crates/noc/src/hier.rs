@@ -1,0 +1,778 @@
+//! The hierarchical cluster interconnect (`hier`).
+//!
+//! NOCSTAR's four flat fabrics all degrade past a few hundred tiles: bus
+//! bandwidth is chip-wide-serial, mesh diameter grows as sqrt(N), and
+//! SMART/NOCSTAR bypass runs are cut short by contention on long paths.
+//! Following TeraNoC-style hybrid designs, [`HierNoc`] composes two of the
+//! existing fabric models into a two-level topology:
+//!
+//! * an **intra-cluster fabric** per cluster of `cluster_size` contiguous
+//!   tiles — a shared [`BusNoc`] (1-cycle arbitration + broadcast) or a
+//!   non-blocking [`XbarNoc`] (per-output-port arbitration, 1-cycle
+//!   traversal);
+//! * an **inter-cluster overlay** connecting one gateway tile per cluster
+//!   — a contended [`MeshNoc`] or a [`SmartNoc`] bypass mesh over the
+//!   cluster grid.
+//!
+//! A same-cluster message takes one intra-fabric leg. A cross-cluster
+//! message takes three store-and-forward legs: source tile to its
+//! cluster's gateway, gateway to gateway over the overlay, and gateway to
+//! the destination tile. Degenerate legs (the source *is* the gateway)
+//! are local messages to the member fabric and cost nothing, so a
+//! `cluster_size = 1` configuration collapses exactly to the overlay.
+//!
+//! Member fabrics see one leg at a time under the original message id
+//! (ids are only used for arbitration tie-breaks, and a message occupies
+//! one leg at any instant, so ids stay unique per fabric). `HierNoc`
+//! tracks leg progress in a route table and reports *end-to-end*
+//! statistics: `latency` is submit-to-final-arrival, and `no_contention`
+//! counts messages that matched their route's zero-queueing floor.
+//!
+//! `lookahead` composes as the minimum member lookahead along any
+//! cross-tile path: with real clusters the nearest non-local tile is one
+//! intra hop away (1 cycle); with single-tile clusters every non-local
+//! message rides the overlay, so its bound applies.
+//!
+//! Fault plans target the overlay: `link:L` clauses index the overlay
+//! mesh's directed links (the cluster-local wires are short, wide and
+//! assumed reliable). Whole clusters are taken offline via the fault
+//! plan's `cluster:K/S@..` clause, which the *simulator* maps to slice
+//! offline windows — the network itself keeps routing.
+
+use crate::bus::BusNoc;
+use crate::mesh::MeshNoc;
+use crate::message::{Delivery, Message};
+use crate::smart::SmartNoc;
+use crate::{Interconnect, NocStats};
+use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, PendingMessage};
+use nocstar_types::cluster::ClusterMap;
+use nocstar_types::time::{Cycle, Cycles};
+use nocstar_types::{CoreId, MeshShape};
+use std::collections::BTreeMap;
+
+/// Intra-cluster fabric choice (`--cluster-intra`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntraKind {
+    /// Shared bus: 1-cycle grant + broadcast, one message per cycle per
+    /// cluster.
+    Bus,
+    /// Non-blocking crossbar: per-output-port arbitration, one message
+    /// per output per cycle.
+    Xbar,
+}
+
+/// Inter-cluster overlay choice (`--cluster-inter`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterKind {
+    /// Contended multi-hop mesh over the cluster grid.
+    Mesh,
+    /// SMART bypass mesh with the given HPCmax.
+    Smart(usize),
+}
+
+/// A non-blocking crossbar: every output port arbitrates independently
+/// (oldest message first, ids breaking ties) and a granted message takes
+/// one cycle to traverse. Contention only arises when two inputs target
+/// the same output. Used as the intra-cluster fabric of [`HierNoc`];
+/// injected faults are handled at the overlay level, so this model keeps
+/// no fault state.
+#[derive(Debug, Clone)]
+pub struct XbarNoc {
+    /// First core index served by this crossbar (ports are addressed as
+    /// `dst - base`).
+    base: usize,
+    /// Index-addressed output ports — the flat arena replacing per-tile
+    /// allocations at 1024-core scale.
+    ports: Vec<OutPort>,
+    local_ready: Vec<(Message, Cycle)>,
+    stats: NocStats,
+}
+
+#[derive(Debug, Clone, Default)]
+struct OutPort {
+    /// Waiting messages: (message, submitted_at).
+    pending: Vec<(Message, Cycle)>,
+    /// The granted traversal: (message, arrival, submitted_at).
+    in_flight: Option<(Message, Cycle, Cycle)>,
+}
+
+impl XbarNoc {
+    /// A crossbar serving cores `[base, base + ports)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(base: usize, ports: usize) -> Self {
+        assert!(ports > 0, "a crossbar needs at least one port");
+        Self {
+            base,
+            ports: vec![OutPort::default(); ports],
+            local_ready: Vec::new(),
+            stats: NocStats::with_links(ports),
+        }
+    }
+
+    fn port_of(&self, dst: CoreId) -> usize {
+        dst.index() - self.base
+    }
+}
+
+impl Interconnect for XbarNoc {
+    fn submit(&mut self, now: Cycle, msg: Message) {
+        if msg.is_local() {
+            self.local_ready.push((msg, now));
+            return;
+        }
+        let port = self.port_of(msg.dst);
+        self.ports[port].pending.push((msg, now));
+    }
+
+    fn advance(&mut self, cycle: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        let mut kept = Vec::new();
+        for (msg, at) in self.local_ready.drain(..) {
+            if at <= cycle {
+                self.stats.delivered += 1;
+                self.stats.no_contention += 1;
+                self.stats.latency.record(Cycles::ZERO);
+                out.push(Delivery { msg, at });
+            } else {
+                kept.push((msg, at));
+            }
+        }
+        self.local_ready = kept;
+        for (p, port) in self.ports.iter_mut().enumerate() {
+            if let Some((msg, at, submitted)) = port.in_flight {
+                if at <= cycle {
+                    port.in_flight = None;
+                    self.stats.delivered += 1;
+                    self.stats.latency.record(at - submitted);
+                    if at - submitted <= Cycles::ONE {
+                        self.stats.no_contention += 1;
+                    } else {
+                        self.stats.retries += 1;
+                    }
+                    out.push(Delivery { msg, at });
+                }
+            }
+            if port.in_flight.is_none() {
+                // Oldest waiter wins the output port, ids breaking ties.
+                let next = port
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(_, at))| at <= cycle)
+                    .min_by_key(|(_, &(msg, at))| (at, msg.id))
+                    .map(|(i, _)| i);
+                if let Some(i) = next {
+                    let (msg, submitted) = port.pending.remove(i);
+                    port.in_flight = Some((msg, cycle + Cycles::ONE, submitted));
+                    self.stats.grants += 1;
+                    self.stats.link_busy[p] += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn lookahead(&self) -> Cycles {
+        // Uncontended: granted in the submit cycle, one traversal cycle.
+        Cycles::ONE
+    }
+
+    fn next_activity(&self) -> Option<Cycle> {
+        let flights = self
+            .ports
+            .iter()
+            .filter_map(|p| p.in_flight.map(|(_, at, _)| at));
+        // A queued message behind an occupied output port cannot win
+        // arbitration until the in-flight transfer lands, so clamp its
+        // reported activity to that arrival (see BusNoc::next_activity).
+        let queued = self.ports.iter().flat_map(|p| {
+            let busy = p.in_flight.map(|(_, at, _)| at);
+            p.pending
+                .iter()
+                .map(move |&(_, at)| busy.map_or(at, |b| at.max(b)))
+        });
+        let local = self.local_ready.iter().map(|&(_, at)| at);
+        flights.chain(queued).chain(local).min()
+    }
+
+    fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn diagnostics(&self, cycle: Cycle) -> DiagSnapshot {
+        let pending_messages = self
+            .ports
+            .iter()
+            .flat_map(|p| p.pending.iter())
+            .map(|&(msg, submitted_at)| PendingMessage {
+                id: msg.id,
+                src: msg.src.index(),
+                dst: msg.dst.index(),
+                kind: format!("{:?}", msg.kind),
+                submitted_at: submitted_at.value(),
+                attempts: 0,
+            })
+            .collect();
+        DiagSnapshot {
+            cycle: cycle.value(),
+            pending_messages,
+            ..DiagSnapshot::default()
+        }
+    }
+}
+
+/// One cluster's intra fabric.
+// The size skew is real (BusNoc carries fault state the crossbar skips)
+// but boxing would put an allocation and a pointer chase on every
+// per-cluster advance; a HierNoc holds cores/cluster_size of these, so
+// the footprint stays small either way.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Intra {
+    Bus(BusNoc),
+    Xbar(XbarNoc),
+}
+
+impl Intra {
+    fn as_dyn(&mut self) -> &mut dyn Interconnect {
+        match self {
+            Intra::Bus(n) => n,
+            Intra::Xbar(n) => n,
+        }
+    }
+
+    fn next_activity(&self) -> Option<Cycle> {
+        match self {
+            Intra::Bus(n) => n.next_activity(),
+            Intra::Xbar(n) => n.next_activity(),
+        }
+    }
+
+    fn lookahead(&self) -> Cycles {
+        match self {
+            Intra::Bus(n) => n.lookahead(),
+            Intra::Xbar(n) => n.lookahead(),
+        }
+    }
+}
+
+/// The overlay fabric between cluster gateways.
+#[derive(Debug)]
+enum Inter {
+    Mesh(MeshNoc),
+    Smart(SmartNoc),
+}
+
+impl Inter {
+    fn as_dyn(&mut self) -> &mut dyn Interconnect {
+        match self {
+            Inter::Mesh(n) => n,
+            Inter::Smart(n) => n,
+        }
+    }
+
+    fn next_activity(&self) -> Option<Cycle> {
+        match self {
+            Inter::Mesh(n) => n.next_activity(),
+            Inter::Smart(n) => n.next_activity(),
+        }
+    }
+
+    fn lookahead(&self) -> Cycles {
+        match self {
+            Inter::Mesh(n) => n.lookahead(),
+            Inter::Smart(n) => n.lookahead(),
+        }
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        match self {
+            Inter::Mesh(n) => n.fault_stats(),
+            Inter::Smart(n) => n.fault_stats(),
+        }
+    }
+
+    fn diagnostics(&self, cycle: Cycle) -> DiagSnapshot {
+        match self {
+            Inter::Mesh(n) => n.diagnostics(cycle),
+            Inter::Smart(n) => n.diagnostics(cycle),
+        }
+    }
+}
+
+/// Which leg of its route a message is riding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Single intra-cluster leg; delivery is final.
+    Direct,
+    /// Source tile -> source-cluster gateway.
+    IntraSrc,
+    /// Gateway -> gateway over the overlay.
+    Overlay,
+    /// Destination-cluster gateway -> destination tile; final.
+    IntraDst,
+}
+
+/// Leg-progress record for one in-flight message.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    /// The original end-to-end message.
+    msg: Message,
+    stage: Stage,
+    submitted_at: Cycle,
+    /// Zero-queueing end-to-end latency for this route (the
+    /// `no_contention` threshold).
+    floor: Cycles,
+}
+
+/// The composed hierarchical fabric. See the module docs for the model.
+#[derive(Debug)]
+pub struct HierNoc {
+    map: ClusterMap,
+    overlay_shape: MeshShape,
+    inter_kind: InterKind,
+    /// Index-addressed per-cluster fabrics.
+    intra: Vec<Intra>,
+    inter: Inter,
+    routes: BTreeMap<u64, Route>,
+    stats: NocStats,
+    faults: FaultPlan,
+}
+
+impl HierNoc {
+    /// Builds the fabric for `cores` tiles in clusters of `cluster_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cluster_size` evenly partitions `cores` (see
+    /// [`ClusterMap::new`]), or if a SMART overlay is given `HPCmax = 0`.
+    pub fn new(cores: usize, cluster_size: usize, intra: IntraKind, inter: InterKind) -> Self {
+        let map = ClusterMap::new(cores, cluster_size);
+        let overlay_shape = MeshShape::square_for(map.clusters());
+        let intra = (0..map.clusters())
+            .map(|k| match intra {
+                IntraKind::Bus => Intra::Bus(BusNoc::new(overlay_shape)),
+                IntraKind::Xbar => Intra::Xbar(XbarNoc::new(map.base(k), cluster_size)),
+            })
+            .collect();
+        let inter = match inter {
+            InterKind::Mesh => Inter::Mesh(MeshNoc::contended(overlay_shape)),
+            InterKind::Smart(hpc) => Inter::Smart(SmartNoc::new(overlay_shape, hpc)),
+        };
+        Self {
+            map,
+            overlay_shape,
+            inter_kind: inter_kind_of(&inter),
+            intra,
+            inter,
+            routes: BTreeMap::new(),
+            stats: NocStats::with_links(0),
+            faults: FaultPlan::default(),
+        }
+    }
+
+    /// The cluster partition this fabric routes over.
+    pub fn cluster_map(&self) -> &ClusterMap {
+        &self.map
+    }
+
+    /// The overlay grid (one tile per cluster).
+    pub fn overlay_shape(&self) -> MeshShape {
+        self.overlay_shape
+    }
+
+    /// Zero-queueing end-to-end latency of the `src -> dst` route: one
+    /// cycle per non-degenerate intra leg plus the overlay's uncontended
+    /// traversal of the gateway-to-gateway path.
+    fn route_floor(&self, src: CoreId, dst: CoreId) -> Cycles {
+        let (cs, cd) = (self.map.cluster_of(src), self.map.cluster_of(dst));
+        if cs == cd {
+            return if src == dst {
+                Cycles::ZERO
+            } else {
+                Cycles::ONE
+            };
+        }
+        let hops = self.overlay_shape.hops(CoreId::new(cs), CoreId::new(cd)) as u64;
+        let overlay = match self.inter_kind {
+            InterKind::Mesh => crate::mesh::CYCLES_PER_HOP * hops,
+            // SA-G setup, then ceil(hops / HPCmax) bypass cycles.
+            InterKind::Smart(hpc) => 1 + hops.div_ceil(hpc as u64),
+        };
+        let leg1 = u64::from(src != self.map.gateway(cs));
+        let leg3 = u64::from(dst != self.map.gateway(cd));
+        Cycles::new(leg1 + overlay + leg3)
+    }
+
+    /// Routes one member-fabric delivery: forwards the next leg (true) or
+    /// emits the final end-to-end delivery into `out` (false).
+    fn step_route(&mut self, d: Delivery, out: &mut Vec<Delivery>) -> bool {
+        let Some(route) = self.routes.get(&d.msg.id).copied() else {
+            debug_assert!(false, "delivery for unrouted message {}", d.msg.id);
+            return false;
+        };
+        match route.stage {
+            Stage::Direct | Stage::IntraDst => {
+                self.routes.remove(&d.msg.id);
+                let lat = d.at - route.submitted_at;
+                self.stats.delivered += 1;
+                self.stats.latency.record(lat);
+                if lat <= route.floor {
+                    self.stats.no_contention += 1;
+                } else {
+                    self.stats.retries += 1;
+                }
+                out.push(Delivery {
+                    msg: route.msg,
+                    at: d.at,
+                });
+                false
+            }
+            Stage::IntraSrc => {
+                // At the source gateway: hop onto the overlay, addressed
+                // by cluster ids.
+                let cs = self.map.cluster_of(route.msg.src);
+                let cd = self.map.cluster_of(route.msg.dst);
+                self.routes.insert(
+                    d.msg.id,
+                    Route {
+                        stage: Stage::Overlay,
+                        ..route
+                    },
+                );
+                self.stats.grants += 1;
+                self.inter.as_dyn().submit(
+                    d.at,
+                    Message::new(
+                        route.msg.id,
+                        CoreId::new(cs),
+                        CoreId::new(cd),
+                        route.msg.kind,
+                    ),
+                );
+                true
+            }
+            Stage::Overlay => {
+                // At the destination gateway: final intra leg.
+                let cd = self.map.cluster_of(route.msg.dst);
+                self.routes.insert(
+                    d.msg.id,
+                    Route {
+                        stage: Stage::IntraDst,
+                        ..route
+                    },
+                );
+                self.stats.grants += 1;
+                let gw = self.map.gateway(cd);
+                self.intra[cd].as_dyn().submit(
+                    d.at,
+                    Message::new(route.msg.id, gw, route.msg.dst, route.msg.kind),
+                );
+                true
+            }
+        }
+    }
+}
+
+fn inter_kind_of(inter: &Inter) -> InterKind {
+    match inter {
+        Inter::Mesh(_) => InterKind::Mesh,
+        Inter::Smart(n) => InterKind::Smart(n.hpc_max()),
+    }
+}
+
+impl Interconnect for HierNoc {
+    fn submit(&mut self, now: Cycle, msg: Message) {
+        let floor = self.route_floor(msg.src, msg.dst);
+        let cs = self.map.cluster_of(msg.src);
+        let cd = self.map.cluster_of(msg.dst);
+        if cs == cd {
+            self.routes.insert(
+                msg.id,
+                Route {
+                    msg,
+                    stage: Stage::Direct,
+                    submitted_at: now,
+                    floor,
+                },
+            );
+            self.intra[cs].as_dyn().submit(now, msg);
+        } else {
+            self.routes.insert(
+                msg.id,
+                Route {
+                    msg,
+                    stage: Stage::IntraSrc,
+                    submitted_at: now,
+                    floor,
+                },
+            );
+            // First leg: source tile to its gateway (a free local message
+            // when the source *is* the gateway).
+            let gw = self.map.gateway(cs);
+            self.intra[cs]
+                .as_dyn()
+                .submit(now, Message::new(msg.id, msg.src, gw, msg.kind));
+        }
+    }
+
+    fn advance(&mut self, cycle: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        // A leg completing this cycle may hand off to a member fabric
+        // that was already advanced, so cascade: re-advance until no leg
+        // was forwarded. Member fabrics tolerate repeated same-cycle
+        // advances (flights are gated on `ready_at`), and a message has
+        // at most three legs, so this terminates quickly.
+        loop {
+            let mut legs: Vec<Delivery> = Vec::new();
+            for f in &mut self.intra {
+                legs.extend(f.as_dyn().advance(cycle));
+            }
+            legs.extend(self.inter.as_dyn().advance(cycle));
+            let mut forwarded = false;
+            for d in legs {
+                forwarded |= self.step_route(d, &mut out);
+            }
+            if !forwarded {
+                break;
+            }
+        }
+        out
+    }
+
+    fn lookahead(&self) -> Cycles {
+        // Minimum member lookahead along any cross-tile path: the
+        // cheapest non-local message is one intra hop, unless clusters
+        // are single tiles and everything rides the overlay.
+        let inter = self.inter.lookahead();
+        if self.map.cluster_size() > 1 {
+            self.intra[0].lookahead().min(inter)
+        } else {
+            inter
+        }
+    }
+
+    fn next_activity(&self) -> Option<Cycle> {
+        self.intra
+            .iter()
+            .filter_map(Intra::next_activity)
+            .chain(self.inter.next_activity())
+            .min()
+    }
+
+    fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+        for f in &mut self.intra {
+            f.as_dyn().reset_stats();
+        }
+        self.inter.as_dyn().reset_stats();
+    }
+
+    fn install_faults(&mut self, plan: FaultPlan) {
+        // Link faults target the overlay; cluster-local wires are assumed
+        // reliable (cluster outages are modelled as slice-offline windows
+        // by the simulator, not the network).
+        self.faults = plan.clone();
+        self.inter.as_dyn().install_faults(plan);
+    }
+
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        self.inter.fault_stats()
+    }
+
+    fn diagnostics(&self, cycle: Cycle) -> DiagSnapshot {
+        let now = cycle.value();
+        let pending_messages = self
+            .routes
+            .values()
+            .map(|r| PendingMessage {
+                id: r.msg.id,
+                src: r.msg.src.index(),
+                dst: r.msg.dst.index(),
+                kind: format!("{:?}", r.msg.kind),
+                submitted_at: r.submitted_at.value(),
+                attempts: 0,
+            })
+            .collect();
+        DiagSnapshot {
+            cycle: now,
+            pending_messages,
+            links: self.inter.diagnostics(cycle).links,
+            active_faults: self.faults.active_at(now),
+            ..DiagSnapshot::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drain_until_idle;
+    use crate::message::MsgKind;
+
+    fn msg(id: u64, src: usize, dst: usize) -> Message {
+        Message::new(id, CoreId::new(src), CoreId::new(dst), MsgKind::TlbRequest)
+    }
+
+    fn hier(cores: usize, cluster: usize) -> HierNoc {
+        HierNoc::new(cores, cluster, IntraKind::Bus, InterKind::Mesh)
+    }
+
+    fn drain(noc: &mut HierNoc, from: Cycle) -> Vec<Delivery> {
+        drain_until_idle(noc, from, 100_000).expect("hier fabric must quiesce")
+    }
+
+    #[test]
+    fn same_cluster_messages_never_touch_the_overlay() {
+        let mut noc = hier(64, 16);
+        noc.submit(Cycle::ZERO, msg(1, 1, 14));
+        let d = drain(&mut noc, Cycle::ZERO);
+        assert_eq!(d.len(), 1);
+        // Bus: grant at 0, broadcast during 1.
+        assert_eq!(d[0].at, Cycle::new(1));
+        assert_eq!(d[0].msg.dst, CoreId::new(14));
+        assert_eq!(noc.stats().delivered, 1);
+        assert_eq!(noc.stats().no_contention, 1);
+    }
+
+    #[test]
+    fn cross_cluster_messages_take_three_legs() {
+        let mut noc = hier(64, 16);
+        // Core 5 (cluster 0) to core 50 (cluster 3): intra leg (1 cycle),
+        // overlay 0->3 on the 2x2 cluster grid (2 hops, 2 cycles each),
+        // intra leg (1 cycle).
+        noc.submit(Cycle::ZERO, msg(1, 5, 50));
+        let d = drain(&mut noc, Cycle::ZERO);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].msg.src, CoreId::new(5));
+        assert_eq!(d[0].msg.dst, CoreId::new(50));
+        let floor = noc.route_floor(CoreId::new(5), CoreId::new(50));
+        assert_eq!(floor, Cycles::new(1 + 4 + 1));
+        assert_eq!(d[0].at, Cycle::ZERO + floor);
+        assert_eq!(noc.stats().no_contention, 1);
+    }
+
+    #[test]
+    fn gateway_to_gateway_skips_degenerate_legs() {
+        let mut noc = hier(64, 16);
+        // Gateways are cores 0/16/32/48; 0 -> 16 is one overlay hop.
+        noc.submit(Cycle::ZERO, msg(1, 0, 16));
+        let d = drain(&mut noc, Cycle::ZERO);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].at, Cycle::new(2));
+    }
+
+    #[test]
+    fn local_messages_deliver_in_the_submit_cycle() {
+        let mut noc = hier(64, 16);
+        noc.submit(Cycle::new(7), msg(1, 9, 9));
+        let d = drain(&mut noc, Cycle::new(7));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].at, Cycle::new(7));
+    }
+
+    #[test]
+    fn clusters_have_independent_bandwidth() {
+        // One message per cluster, all at once: every cluster's bus grants
+        // in the same cycle (a flat bus would serialize all four).
+        let mut noc = hier(64, 16);
+        for k in 0..4 {
+            noc.submit(Cycle::ZERO, msg(k as u64, k * 16 + 1, k * 16 + 9));
+        }
+        let d = drain(&mut noc, Cycle::ZERO);
+        assert_eq!(d.len(), 4);
+        assert!(d.iter().all(|d| d.at == Cycle::new(1)));
+    }
+
+    #[test]
+    fn xbar_outputs_arbitrate_independently() {
+        let mut noc = HierNoc::new(32, 8, IntraKind::Xbar, InterKind::Mesh);
+        // Two messages to *different* outputs: both traverse in parallel.
+        noc.submit(Cycle::ZERO, msg(1, 0, 3));
+        noc.submit(Cycle::ZERO, msg(2, 1, 4));
+        // Two messages to the *same* output: serialized.
+        noc.submit(Cycle::ZERO, msg(3, 2, 5));
+        noc.submit(Cycle::ZERO, msg(4, 6, 5));
+        let d = drain(&mut noc, Cycle::ZERO);
+        let at = |id: u64| d.iter().find(|d| d.msg.id == id).expect("delivered").at;
+        assert_eq!(at(1), Cycle::new(1));
+        assert_eq!(at(2), Cycle::new(1));
+        assert_eq!(at(3), Cycle::new(1));
+        assert_eq!(at(4), Cycle::new(2));
+    }
+
+    #[test]
+    fn smart_overlay_bypasses_multiple_cluster_hops() {
+        let mut noc = HierNoc::new(256, 16, IntraKind::Bus, InterKind::Smart(8));
+        // Cluster grid is 4x4; corner to corner is 6 overlay hops, all
+        // bypassed in one cycle after setup.
+        noc.submit(Cycle::ZERO, msg(1, 1, 255));
+        let d = drain(&mut noc, Cycle::ZERO);
+        assert_eq!(d.len(), 1);
+        // 1 intra + (1 setup + 1 bypass) + 1 intra.
+        assert_eq!(d[0].at, Cycle::new(4));
+    }
+
+    #[test]
+    fn single_tile_clusters_collapse_to_the_overlay() {
+        let noc = HierNoc::new(16, 1, IntraKind::Bus, InterKind::Mesh);
+        assert_eq!(noc.lookahead(), Cycles::new(crate::mesh::CYCLES_PER_HOP));
+        let mut noc = noc;
+        noc.submit(Cycle::ZERO, msg(1, 0, 1));
+        let d = drain(&mut noc, Cycle::ZERO);
+        assert_eq!(d[0].at, Cycle::new(2));
+    }
+
+    #[test]
+    fn overlay_outage_blocks_only_cross_cluster_traffic() {
+        let mut noc = hier(64, 16);
+        noc.install_faults("link:*@0-50=off; retry=inf".parse().unwrap());
+        noc.submit(Cycle::ZERO, msg(1, 1, 9)); // same cluster
+        noc.submit(Cycle::ZERO, msg(2, 1, 50)); // cross cluster
+        let d = drain(&mut noc, Cycle::ZERO);
+        assert_eq!(d.len(), 2);
+        let at = |id: u64| d.iter().find(|d| d.msg.id == id).expect("delivered").at;
+        assert_eq!(at(1), Cycle::new(1), "intra traffic unaffected");
+        assert!(at(2) >= Cycle::new(50), "overlay leg waits out the outage");
+        assert!(
+            noc.fault_stats()
+                .expect("overlay tracks faults")
+                .link_blocked
+                > 0
+        );
+    }
+
+    #[test]
+    fn end_to_end_latency_is_recorded_once_per_message() {
+        let mut noc = hier(64, 16);
+        noc.submit(Cycle::ZERO, msg(1, 5, 50));
+        noc.submit(Cycle::ZERO, msg(2, 1, 2));
+        drain(&mut noc, Cycle::ZERO);
+        assert_eq!(noc.stats().delivered, 2);
+        assert_eq!(noc.stats().latency.count(), 2);
+    }
+
+    #[test]
+    fn reset_stats_clears_members_too() {
+        let mut noc = hier(64, 16);
+        noc.submit(Cycle::ZERO, msg(1, 5, 50));
+        drain(&mut noc, Cycle::ZERO);
+        noc.reset_stats();
+        assert_eq!(noc.stats().delivered, 0);
+        noc.submit(Cycle::new(100), msg(2, 5, 50));
+        let d = drain(&mut noc, Cycle::new(100));
+        assert_eq!(d.len(), 1);
+        assert_eq!(noc.stats().delivered, 1);
+    }
+}

@@ -13,6 +13,9 @@
 //!   `HPCmax` hops per cycle, falling back to latching under contention.
 //! * [`arbiter`] — NOCSTAR's per-link arbiters: static priority, rotated
 //!   round-robin every 1000 cycles to prevent starvation (§III-B2).
+//! * [`hier`] — a two-level hierarchical fabric for 1000+ tiles: per-cluster
+//!   bus/crossbar fabrics stitched together by a mesh or SMART overlay
+//!   between cluster gateways.
 //! * [`circuit`] — the NOCSTAR fabric itself: latchless switches,
 //!   same-cycle full-path acquisition (AND of per-link grants), retry on
 //!   partial failure, single-cycle traversal up to `HPCmax` hops, and
@@ -49,6 +52,7 @@
 pub mod arbiter;
 pub mod bus;
 pub mod circuit;
+pub mod hier;
 pub mod latency;
 pub mod mesh;
 pub mod message;
@@ -58,6 +62,7 @@ pub mod traffic;
 
 pub use bus::BusNoc;
 pub use circuit::CircuitFabric;
+pub use hier::{HierNoc, InterKind, IntraKind, XbarNoc};
 pub use mesh::MeshNoc;
 pub use message::{Delivery, Message, MsgKind};
 pub use smart::SmartNoc;

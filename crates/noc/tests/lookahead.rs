@@ -9,6 +9,7 @@
 
 use nocstar_noc::bus::BusNoc;
 use nocstar_noc::circuit::{AcquireMode, CircuitFabric};
+use nocstar_noc::hier::{HierNoc, InterKind, IntraKind};
 use nocstar_noc::mesh::{MeshNoc, CYCLES_PER_HOP};
 use nocstar_noc::message::{Message, MsgKind};
 use nocstar_noc::smart::SmartNoc;
@@ -83,6 +84,63 @@ fn circuit_lookahead_bounds_deliveries() {
         check_bound_tight(|| CircuitFabric::new(MeshShape::square_for(16), 8, mode));
     }
     check_bound_tight(|| CircuitFabric::ideal(MeshShape::square_for(16), 8));
+}
+
+#[test]
+fn hier_lookahead_bounds_deliveries() {
+    // With clusters of >= 2 tiles, cores 0 and 1 share an intra-cluster
+    // fabric, so the composed lookahead is the intra fabric's (ONE for
+    // both bus and crossbar) and the one-hop probe exercises it directly.
+    for intra in [IntraKind::Bus, IntraKind::Xbar] {
+        for inter in [InterKind::Mesh, InterKind::Smart(8)] {
+            let hier = HierNoc::new(16, 4, intra, inter);
+            assert_eq!(hier.lookahead(), Cycles::ONE, "{intra:?}/{inter:?}");
+            check_bound_tight(|| HierNoc::new(16, 4, intra, inter));
+        }
+    }
+}
+
+#[test]
+fn hier_lookahead_collapses_to_the_overlay_for_single_tile_clusters() {
+    // cluster_size=1 leaves no intra-cluster traffic at all: every
+    // non-local message rides the overlay, so the composed lookahead is
+    // the overlay's (2 for both mesh and SMART) and must stay tight.
+    let mesh = HierNoc::new(16, 1, IntraKind::Bus, InterKind::Mesh);
+    assert_eq!(mesh.lookahead(), Cycles::new(CYCLES_PER_HOP));
+    check_bound_tight(|| HierNoc::new(16, 1, IntraKind::Bus, InterKind::Mesh));
+    let smart = HierNoc::new(16, 1, IntraKind::Bus, InterKind::Smart(8));
+    assert_eq!(smart.lookahead(), Cycles::new(2));
+    check_bound_tight(|| HierNoc::new(16, 1, IntraKind::Bus, InterKind::Smart(8)));
+}
+
+#[test]
+fn hier_cross_cluster_deliveries_respect_the_composed_bound() {
+    // Soundness for the expensive path: a message crossing clusters pays
+    // at least the composed floor (intra leg + overlay hops + intra leg),
+    // which is far above the advertised lookahead — the bound must still
+    // hold from every submit cycle.
+    for start in [0u64, 17, 4000] {
+        let mut noc = HierNoc::new(16, 4, IntraKind::Bus, InterKind::Mesh);
+        let lookahead = noc.lookahead();
+        let submit = Cycle::new(start);
+        // Core 1 (cluster 0) to core 14 (cluster 3): both endpoints are
+        // off-gateway, so all three legs are real.
+        let msg = Message::new(start, CoreId::new(1), CoreId::new(14), MsgKind::TlbRequest);
+        noc.submit(submit, msg);
+        let d = drain_until_idle(&mut noc, submit, 10_000).expect("hier must quiesce");
+        assert_eq!(d.len(), 1);
+        assert!(
+            d[0].at >= submit + lookahead,
+            "cross-cluster delivery at {:?} violates lookahead {lookahead:?}",
+            d[0].at
+        );
+        // Three legs: bus (1) + overlay (>= 2) + bus (1).
+        assert!(
+            d[0].at >= submit + Cycles::new(4),
+            "floor too low: {:?}",
+            d[0].at
+        );
+    }
 }
 
 #[test]

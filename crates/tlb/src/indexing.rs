@@ -5,7 +5,7 @@
 //! the home slice, so consecutive virtual pages stripe round-robin across
 //! slices, spreading load.
 
-use nocstar_types::{BankId, SliceId, VirtPageNum};
+use nocstar_types::{BankId, CoreId, SliceId, VirtPageNum};
 
 /// The home slice of a virtual page in an `num_slices`-slice distributed
 /// shared L2 TLB.
@@ -26,6 +26,33 @@ use nocstar_types::{BankId, SliceId, VirtPageNum};
 pub fn slice_for(vpn: VirtPageNum, num_slices: usize) -> SliceId {
     assert!(num_slices > 0, "need at least one slice");
     SliceId::new((vpn.number() % num_slices as u64) as usize)
+}
+
+/// The cluster-local home slice of a virtual page for a requester in a
+/// hierarchical organization: the same set-interleaved striping as
+/// [`slice_for`], but over the `cluster_size` slices of the *requester's
+/// own cluster*. Every cluster homes every page residue, so lookups stay
+/// intra-cluster by construction (capacity is shared per cluster, and
+/// shootdowns must invalidate each cluster's replica).
+///
+/// # Panics
+///
+/// Panics if `cluster_size` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use nocstar_tlb::indexing::cluster_home_for;
+/// use nocstar_types::{CoreId, PageSize, VirtPageNum};
+///
+/// let vpn = VirtPageNum::new(37, PageSize::Size4K);
+/// // Core 21 lives in cluster 1 (tiles 16..32): home = 16 + 37 % 16.
+/// assert_eq!(cluster_home_for(vpn, CoreId::new(21), 16).index(), 21);
+/// ```
+pub fn cluster_home_for(vpn: VirtPageNum, requester: CoreId, cluster_size: usize) -> SliceId {
+    assert!(cluster_size > 0, "need at least one slice per cluster");
+    let base = requester.index() - requester.index() % cluster_size;
+    SliceId::new(base + (vpn.number() % cluster_size as u64) as usize)
 }
 
 /// The home bank of a virtual page in a `num_banks`-bank monolithic shared
@@ -92,6 +119,68 @@ mod tests {
                 counts[slice_for(v4k(n), slices).index()] += 1;
             }
             prop_assert!(counts.iter().all(|&c| c == 10));
+        }
+
+        /// Cluster homing is a function: every (core, page) pair maps to
+        /// exactly one slice, always inside the requester's own cluster
+        /// (intra-cluster homing is not merely preferred but guaranteed,
+        /// since each cluster homes every set residue).
+        #[test]
+        fn prop_cluster_home_is_intra_cluster(
+            n in any::<u64>(),
+            cluster_size in 1usize..64,
+            clusters in 1usize..32,
+            core_off in any::<usize>(),
+        ) {
+            let cores = cluster_size * clusters;
+            let core = CoreId::new(core_off % cores);
+            let home = cluster_home_for(v4k(n), core, cluster_size);
+            prop_assert!(home.index() < cores);
+            prop_assert_eq!(
+                home.index() / cluster_size,
+                core.index() / cluster_size,
+                "home must live in the requester's cluster"
+            );
+            // Deterministic: the same inputs always give the same home.
+            prop_assert_eq!(home, cluster_home_for(v4k(n), core, cluster_size));
+        }
+
+        /// Within one cluster, the page-residue -> slice map is a total
+        /// partition: consecutive residues cover every slice of the
+        /// cluster exactly once.
+        #[test]
+        fn prop_cluster_residues_partition_the_cluster(
+            cluster_size in 1usize..64,
+            clusters in 1usize..32,
+            core_off in any::<usize>(),
+            start in 0u64..1_000_000,
+        ) {
+            let cores = cluster_size * clusters;
+            let core = CoreId::new(core_off % cores);
+            let base = core.index() - core.index() % cluster_size;
+            let homes: std::collections::BTreeSet<usize> = (start..start + cluster_size as u64)
+                .map(|n| cluster_home_for(v4k(n), core, cluster_size).index())
+                .collect();
+            let want: std::collections::BTreeSet<usize> = (base..base + cluster_size).collect();
+            prop_assert_eq!(homes, want);
+        }
+
+        /// Cluster homing agrees with flat striping *within* the cluster:
+        /// two cores of the same cluster always agree on a page's home
+        /// (no aliasing of one page to two slices of one cluster).
+        #[test]
+        fn prop_same_cluster_cores_agree(
+            n in any::<u64>(),
+            cluster_size in 1usize..64,
+            a_off in any::<usize>(),
+            b_off in any::<usize>(),
+        ) {
+            let a = CoreId::new(a_off % cluster_size);
+            let b = CoreId::new(b_off % cluster_size);
+            prop_assert_eq!(
+                cluster_home_for(v4k(n), a, cluster_size),
+                cluster_home_for(v4k(n), b, cluster_size)
+            );
         }
     }
 }

@@ -10,6 +10,8 @@
 //! * [`time`] — simulation time ([`time::Cycle`]) and durations
 //!   ([`time::Cycles`]).
 //! * [`geometry`] — 2-D mesh tile coordinates and XY-routing hop math.
+//! * [`cluster`] — index-addressed partitioning of tiles into equal
+//!   clusters (hierarchical interconnects).
 //!
 //! Everything here is plain data: `Copy`, `Ord`, `Hash`, `serde`-serializable
 //! and free of behaviour beyond small arithmetic helpers, so the simulator
@@ -34,11 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod cluster;
 pub mod geometry;
 pub mod ids;
 pub mod time;
 
 pub use addr::{PageSize, PhysAddr, PhysPageNum, VirtAddr, VirtPageNum};
+pub use cluster::ClusterMap;
 pub use geometry::{Coord, MeshShape};
 pub use ids::{Asid, BankId, CoreId, SliceId, ThreadId};
 pub use time::{Cycle, Cycles};

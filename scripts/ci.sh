@@ -6,11 +6,14 @@
 #
 #   ci.sh             fast PR gate: fmt + determinism lint + clippy +
 #                     build + tier-1 tests (including the NCT trace
-#                     round-trip/golden-fixture suite). Target: a few
-#                     minutes.
+#                     round-trip/golden-fixture suite and the
+#                     hierarchical-fabric unit/property/lookahead
+#                     suites). Target: a few minutes.
 #   ci.sh --nightly   everything above plus the slow sweeps: chaos
-#                     property suite, fault-sweep smoke, the full
-#                     golden-report determinism sweep, the full
+#                     property suite (including the 1024-core
+#                     cluster-outage run), the 512/1024-core hier-vs-mesh
+#                     scale-up claim and smoke, fault-sweep smoke, the
+#                     full golden-report determinism sweep, the full
 #                     domain-parallel sweep (domains 2/4/8 on every
 #                     fabric, plus the perf.sh wall-clock gate), and the
 #                     end-to-end trace-replay equivalence check
@@ -61,6 +64,15 @@ cargo test -q --test trace_replay
 if [[ "$NIGHTLY" == "1" ]]; then
   echo "== nightly: chaos property suite =="
   cargo test -q --test chaos
+
+  echo "== nightly: 1024-core hierarchical-fabric chaos (cluster outage) =="
+  cargo test -q --test chaos -- --ignored
+
+  echo "== nightly: scale-up claim (hier vs flat mesh at 512/1024 cores) =="
+  cargo test -q --release --test paper_claims claim_hier_beats_flat_mesh_at_scale -- --ignored
+
+  echo "== nightly: 1024-core scale-up smoke =="
+  cargo run --release -q -p nocstar-bench --bin scaleup -- --quick
 
   echo "== nightly: fault-sweep smoke =="
   cargo run --release -q -p nocstar-bench --bin faultsweep -- --quick

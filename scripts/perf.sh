@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Wall-clock benchmark for the domain-parallel simulation driver
-# (DESIGN.md §12). Sweeps 64- and 256-core systems across the four
+# (DESIGN.md §12). Sweeps 64- and 256-core systems across the five
 # interconnect fabrics at 1 vs 8 simulation domains and writes
 # bench_results/BENCH_parallel.json with wall-clock times and committed
-# accesses per second. The perf binary interleaves repetitions across
-# the domain counts, so host noise (VM steal, frequency drift) hits
-# both configurations equally and the reported minima are comparable.
+# accesses per second; the hierarchical-fabric rows are additionally
+# split out into bench_results/BENCH_hier.json (DESIGN.md §13). The
+# perf binary interleaves repetitions across the domain counts, so host
+# noise (VM steal, frequency drift) hits both configurations equally
+# and the reported minima are comparable.
 #
 # Usage:
 #   perf.sh            full sweep (reps=5)
-#   perf.sh --quick    one fabric, 256 cores only (reps=3)
+#   perf.sh --quick    mesh + hier, 256 cores only (reps=3)
 #
 # Environment:
 #   NOCSTAR_PERF_ENFORCE=1   exit non-zero if the 8-domain run is slower
@@ -32,9 +34,9 @@ for arg in "$@"; do
 done
 
 if [[ "$QUICK" == "1" ]]; then
-  CORE_COUNTS=(256); ORGS=(distributed); REPS=3
+  CORE_COUNTS=(256); ORGS=(distributed hier); REPS=3
 else
-  CORE_COUNTS=(64 256); ORGS=(ideal distributed smart nocstar); REPS=5
+  CORE_COUNTS=(64 256); ORGS=(ideal distributed smart nocstar hier); REPS=5
 fi
 
 HOST_CPUS="$(nproc)"
@@ -79,6 +81,22 @@ with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out}")
+
+# The hierarchical fabric gets its own artifact so the scale-up
+# dashboards can track it without parsing the whole sweep.
+hier = [r for r in results if r["org"] == "hier"]
+if hier:
+    hier_doc = {
+        "generated_by": "scripts/perf.sh",
+        "host_cpus": doc["host_cpus"],
+        "reps": doc["reps"],
+        "results": hier,
+    }
+    hier_out = os.path.join(os.path.dirname(out), "BENCH_hier.json")
+    with open(hier_out, "w") as f:
+        json.dump(hier_doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {hier_out}")
 EOF
 
 if [[ "${NOCSTAR_PERF_ENFORCE:-0}" == "1" ]]; then

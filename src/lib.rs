@@ -75,6 +75,7 @@ pub mod prelude {
     pub use nocstar_faults::{FaultPlan, SimError};
     pub use nocstar_mem::walker::WalkLatency;
     pub use nocstar_noc::circuit::AcquireMode;
+    pub use nocstar_noc::hier::{InterKind, IntraKind};
     pub use nocstar_stats::summary::Summary;
     pub use nocstar_stats::table::Table;
     pub use nocstar_tlb::prefetch::PrefetchDepth;

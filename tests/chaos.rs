@@ -119,6 +119,55 @@ fn no_translation_is_lost_under_any_fault_class() {
 }
 
 #[test]
+#[ignore = "nightly: 1024-core hierarchical-fabric chaos"]
+fn whole_cluster_outage_at_scale_is_deterministic_and_lossless() {
+    // Takes an entire 16-tile cluster offline for the first 50k cycles of
+    // a 1024-core hierarchical run. Displaced lookups fall back to page
+    // walks (faults cost cycles, never translations), and the domain-
+    // parallel driver must replay the same schedule byte-for-byte.
+    const BIG: usize = 1024;
+    const QUOTA: u64 = 150;
+    let spec = "cluster:3/16@0-50000; retry=6";
+    let run = |domains: usize| {
+        let mut config = SystemConfig::new(BIG, TlbOrg::paper_hier(16));
+        config.metrics = true;
+        config.parallel_domains = domains;
+        let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+        Simulation::new(config, workload)
+            .with_faults(spec.parse().expect("spec"))
+            .run(QUOTA)
+    };
+    let sequential = run(1);
+    assert_eq!(
+        sequential.accesses,
+        BIG as u64 * QUOTA,
+        "lost translations during the cluster outage"
+    );
+    assert_eq!(
+        sequential.to_json().to_string(),
+        run(8).to_json().to_string(),
+        "8-domain cluster-outage run diverged from sequential"
+    );
+}
+
+#[test]
+fn hier_overlay_outage_terminates_via_escape_paths() {
+    // A chip-wide overlay outage under the hierarchical fabric: intra-
+    // cluster traffic is untouched, and cross-cluster messages (shootdown
+    // invalidations) burn their retry budget then take the maintenance
+    // escape path — the run must finish, not trip the livelock watchdog.
+    const WIDE: usize = 256;
+    const QUOTA: u64 = 120;
+    let config = SystemConfig::new(WIDE, TlbOrg::paper_hier(16));
+    let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+    let report = Simulation::new(config, workload)
+        .with_faults("link:*@0-40000=off; retry=4".parse().expect("spec"))
+        .try_run(QUOTA)
+        .expect("overlay outage with a finite retry budget must terminate");
+    assert_eq!(report.accesses, WIDE as u64 * QUOTA);
+}
+
+#[test]
 fn fault_metrics_surface_only_under_a_nonempty_plan() {
     let clean = sim(TlbOrg::paper_nocstar(), true).run(ACCESSES);
     assert!(clean.metrics.counter("faults.fallbacks").is_none());

@@ -62,10 +62,11 @@ fn worker_count_does_not_change_serialized_reports() {
 }
 
 /// One organization per interconnect model the simulation can drive:
-/// zero-latency (ideal), packet mesh, SMART bypass mesh, and the paper's
-/// circuit-switched fabric. Domain-parallel runs must be invariant on
-/// every one of them, since each fabric has its own lookahead.
-fn fabric_orgs() -> [TlbOrg; 4] {
+/// zero-latency (ideal), packet mesh, SMART bypass mesh, the paper's
+/// circuit-switched fabric, and the hierarchical cluster fabric.
+/// Domain-parallel runs must be invariant on every one of them, since
+/// each fabric has its own (composed) lookahead.
+fn fabric_orgs() -> [TlbOrg; 5] {
     [
         TlbOrg::paper_ideal(),
         TlbOrg::paper_distributed(),
@@ -76,6 +77,7 @@ fn fabric_orgs() -> [TlbOrg; 4] {
             latency_override: None,
         },
         TlbOrg::paper_nocstar(),
+        TlbOrg::paper_hier(4),
     ]
 }
 

@@ -86,3 +86,10 @@ fn golden_nocstar() {
 fn golden_ideal() {
     check_golden("ideal", TlbOrg::paper_ideal());
 }
+
+#[test]
+fn golden_hier() {
+    // Two clusters of two tiles: small enough to read, yet it exercises
+    // all three hierarchical legs (intra-source, overlay, intra-dest).
+    check_golden("hier", TlbOrg::paper_hier(2));
+}

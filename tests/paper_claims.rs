@@ -91,6 +91,33 @@ fn claim_one_way_acquire_beats_round_trip() {
 }
 
 #[test]
+#[ignore = "nightly: 512/1024-core scale-up comparison (run with --release)"]
+fn claim_hier_beats_flat_mesh_at_scale() {
+    // The scale-up motivation for the hierarchical fabric: past a few
+    // hundred cores the flat mesh's ~2*sqrt(N) hop latency dominates every
+    // shared-L2 lookup, while the cluster fabric keeps lookups inside a
+    // one-cycle bus and pays the overlay only on shootdowns. Average
+    // translation latency must favor `hier` at 512 and 1024 cores.
+    let go = |cores: usize, org: TlbOrg| {
+        let config = SystemConfig::new(cores, org);
+        Simulation::new(config, WorkloadAssignment::preset(&config, Preset::Redis))
+            .run_measured(300, 700)
+    };
+    for cores in [512usize, 1024] {
+        let hier = go(cores, TlbOrg::paper_hier(16));
+        let mesh = go(cores, TlbOrg::paper_distributed());
+        let (h, m) = (
+            hier.translation_latency.mean(),
+            mesh.translation_latency.mean(),
+        );
+        assert!(
+            h < m,
+            "{cores} cores: hier latency {h:.2} >= flat mesh {m:.2}"
+        );
+    }
+}
+
+#[test]
 fn claim_superpages_cut_shared_l2_misses() {
     // Fig 13 rationale: superpages reduce shared-L2 misses.
     let go = |thp: bool| {
