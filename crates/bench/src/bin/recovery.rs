@@ -1,0 +1,4 @@
+//! Runs the closed-loop recovery-latency study; pass `--quick` for a short run.
+fn main() {
+    nocstar_bench::experiments::recovery::run(nocstar_bench::Effort::from_env());
+}

@@ -64,6 +64,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod recovery;
 pub mod replay;
 pub mod scaleup;
 pub mod slice_ubench;

@@ -135,6 +135,49 @@ pub fn fault_settings() -> &'static FaultSettings {
     FAULTS.get_or_init(FaultSettings::from_env)
 }
 
+/// Reactive-recovery settings shared by every experiment binary, resolved
+/// once from the process arguments and environment:
+///
+/// * `--recovery <spec>` (or `NOCSTAR_RECOVERY=<spec>`) — install a
+///   [`RecoveryPolicy`] (spec grammar: `"reroute; rehome; failover;
+///   escalate=N"`, or `"all"` for every mechanism) into every run, closing
+///   the loop on whatever `--faults` injects.
+///
+/// A malformed spec terminates the process with exit code 2 — a sweep must
+/// not silently run open-loop when recovery was requested.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoverySettings {
+    /// The policy installed into every simulation (default = open loop).
+    pub policy: RecoveryPolicy,
+}
+
+impl RecoverySettings {
+    fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let spec = args
+            .iter()
+            .position(|a| a == "--recovery")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .or_else(|| std::env::var("NOCSTAR_RECOVERY").ok());
+        let policy = match spec.as_deref().map(str::parse::<RecoveryPolicy>) {
+            None => RecoveryPolicy::default(),
+            Some(Ok(policy)) => policy,
+            Some(Err(e)) => {
+                eprintln!("error: bad recovery spec: {e}");
+                std::process::exit(2);
+            }
+        };
+        Self { policy }
+    }
+}
+
+/// The process-wide recovery settings (first use resolves them).
+pub fn recovery_settings() -> &'static RecoverySettings {
+    static RECOVERY: OnceLock<RecoverySettings> = OnceLock::new();
+    RECOVERY.get_or_init(RecoverySettings::from_env)
+}
+
 /// Trace-replay settings shared by every experiment binary, resolved once
 /// from the process arguments and environment:
 ///
@@ -307,6 +350,10 @@ impl Effort {
         let mut sim = Simulation::new(config, workload);
         if !faults.plan.is_empty() {
             sim = sim.with_faults(faults.plan.clone());
+        }
+        let recovery = recovery_settings();
+        if recovery.policy.is_enabled() {
+            sim = sim.with_recovery(recovery.policy);
         }
         let report = match sim.try_run_measured(self.warmup, self.accesses) {
             Ok(report) => report,

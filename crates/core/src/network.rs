@@ -4,7 +4,9 @@
 //! private and zero-latency-ideal organizations) so the simulation loop is
 //! organization-agnostic.
 
-use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, SimError};
+use nocstar_faults::{
+    DiagSnapshot, FaultPlan, FaultStats, RecoveryPolicy, RecoveryStats, SimError,
+};
 use nocstar_noc::circuit::{AcquireMode, CircuitFabric};
 use nocstar_noc::hier::HierNoc;
 use nocstar_noc::mesh::MeshNoc;
@@ -154,6 +156,30 @@ impl NetworkModel {
             NetworkModel::Smart(n) => n.fault_stats(),
             NetworkModel::Circuit(n) => n.fault_stats(),
             NetworkModel::Hier(n) => n.fault_stats(),
+        }
+    }
+
+    /// Installs a closed-loop recovery policy (no-op for `None`).
+    pub fn install_recovery(&mut self, policy: RecoveryPolicy) {
+        match self {
+            NetworkModel::None => {}
+            NetworkModel::Mesh(n) => n.install_recovery(policy),
+            NetworkModel::Smart(n) => n.install_recovery(policy),
+            NetworkModel::Circuit(n) => n.install_recovery(policy),
+            NetworkModel::Hier(n) => n.install_recovery(policy),
+        }
+    }
+
+    /// Recovery-action statistics, if a network tracks them. The
+    /// hierarchical fabric merges gateway-failover counts with its
+    /// overlay's re-routing stats, so this returns an owned aggregate.
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        match self {
+            NetworkModel::None => None,
+            NetworkModel::Mesh(n) => n.recovery_stats().cloned(),
+            NetworkModel::Smart(n) => n.recovery_stats().cloned(),
+            NetworkModel::Circuit(n) => n.recovery_stats().cloned(),
+            NetworkModel::Hier(n) => Some(n.recovery_stats_merged()),
         }
     }
 

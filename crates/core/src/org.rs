@@ -153,6 +153,11 @@ impl OrgState {
         }
     }
 
+    /// The tile a structure lives on.
+    pub fn tile_of(&self, index: usize) -> CoreId {
+        self.tiles[index]
+    }
+
     /// Mutable access to one structure.
     pub fn structure_mut(&mut self, index: usize) -> &mut TlbSlice {
         &mut self.structures[index]

@@ -14,7 +14,7 @@ use crate::org::OrgState;
 use crate::report::SimReport;
 use nocstar_energy::account::EnergyAccount;
 use nocstar_energy::model::{self, NocDesign};
-use nocstar_faults::{DiagSnapshot, FaultPlan, SimError};
+use nocstar_faults::{DiagSnapshot, FaultPlan, RecoveryPolicy, SimError};
 use nocstar_mem::hierarchy::{MemoryConfig, MemorySystem, ServicedBy, SharedTables};
 use nocstar_noc::hier::HierNoc;
 use nocstar_noc::mesh::MeshNoc;
@@ -22,7 +22,7 @@ use nocstar_noc::message::{Delivery, Message, MsgKind};
 use nocstar_noc::smart::SmartNoc;
 use nocstar_stats::counter::Counter;
 use nocstar_stats::latency::LatencyRecorder;
-use nocstar_stats::metrics::{CounterId, MetricsRegistry};
+use nocstar_stats::metrics::{CounterId, Log2Histogram, MetricsRegistry};
 use nocstar_stats::tracing::{TraceRecord, TraceSink};
 use nocstar_tlb::entry::TlbEntry;
 use nocstar_tlb::l1::L1Tlb;
@@ -292,6 +292,54 @@ struct LookupTx {
     slice_done_at: Cycle,
     /// Walk cycles (including the replay penalty) charged to this access.
     walk_cycles: u64,
+    /// The static home before any recovery redirect (equals `home_idx`
+    /// unless `rehomed`).
+    orig_home_idx: usize,
+    /// The static home was offline and this lookup was redirected to a
+    /// backup slice by the recovery policy.
+    rehomed: bool,
+    /// The static home was offline and no redirect applied (open-loop or
+    /// disconnected): the translation was served degraded (walk path).
+    degraded: bool,
+}
+
+/// The slice that will actually service a lookup, after any re-homing.
+#[derive(Debug, Clone, Copy)]
+struct ResolvedHome {
+    idx: usize,
+    tile: CoreId,
+    orig_idx: usize,
+    rehomed: bool,
+    degraded: bool,
+}
+
+/// An active re-homing window: a slice's set range served by a backup
+/// slice while the home is offline.
+#[derive(Debug, Clone)]
+struct Rehome {
+    backup_idx: usize,
+    /// When the offline home was detected and the redirect installed.
+    since: Cycle,
+    /// Whether a redirected translation has completed yet (the first one
+    /// defines this activation's detect→recovered latency).
+    first_served: bool,
+    /// Entries inserted into the backup during the window; invalidated on
+    /// home-back so no stale copy outlives the redirect (coherent handoff).
+    inserted: BTreeSet<(Asid, VirtPageNum)>,
+}
+
+impl LookupTx {
+    /// The home this lookup resolved to at issue time, as a
+    /// [`ResolvedHome`] (for insert-tracking at walk completion).
+    fn resolved_home(&self) -> ResolvedHome {
+        ResolvedHome {
+            idx: self.home_idx,
+            tile: self.home_tile,
+            orig_idx: self.orig_home_idx,
+            rehomed: self.rehomed,
+            degraded: self.degraded,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -354,6 +402,11 @@ pub struct Simulation {
     label: String,
     // Fault injection (empty plan = zero-cost fast paths everywhere).
     faults: FaultPlan,
+    /// Closed-loop recovery policy (disabled = open-loop behaviour, and
+    /// every recovery hook short-circuits to the static path).
+    recovery: RecoveryPolicy,
+    /// Active re-homing windows, keyed by the offline home's index.
+    rehomed: BTreeMap<usize, Rehome>,
     /// Simulated time of the last completed memory access, chip-wide —
     /// the forward-progress marker the livelock watchdog measures against.
     last_progress: Cycle,
@@ -368,6 +421,13 @@ pub struct Simulation {
     fault_slice_misses: Counter,
     fault_walk_spikes: Counter,
     fault_storm_relays: Counter,
+    // Recovery accounting (harvested only when a policy and plan are set).
+    recovered_translations: Counter,
+    degraded_translations: Counter,
+    rehome_activations: Counter,
+    rehome_homebacks: Counter,
+    rehome_handoff_entries: Log2Histogram,
+    detect_to_recovered: Log2Histogram,
     // Observability (no-ops unless enabled in the config).
     metrics: MetricsRegistry,
     trace: TraceSink,
@@ -482,6 +542,8 @@ impl Simulation {
             last_completion: Cycle::ZERO,
             label,
             faults: FaultPlan::default(),
+            recovery: RecoveryPolicy::default(),
+            rehomed: BTreeMap::new(),
             last_progress: Cycle::ZERO,
             energy: EnergyAccount::default(),
             energy_design,
@@ -493,6 +555,12 @@ impl Simulation {
             fault_slice_misses: Counter::new(),
             fault_walk_spikes: Counter::new(),
             fault_storm_relays: Counter::new(),
+            recovered_translations: Counter::new(),
+            degraded_translations: Counter::new(),
+            rehome_activations: Counter::new(),
+            rehome_homebacks: Counter::new(),
+            rehome_handoff_entries: Log2Histogram::new(),
+            detect_to_recovered: Log2Histogram::new(),
             metrics,
             trace,
             stall_slice,
@@ -526,6 +594,18 @@ impl Simulation {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.net.install_faults(plan.clone());
         self.faults = plan;
+        self
+    }
+
+    /// Installs a closed-loop recovery policy. Re-routing, escalating
+    /// retry and gateway failover act inside the interconnect models;
+    /// slice re-homing acts here in the simulation loop. A disabled
+    /// policy — or any policy without a non-empty fault plan — changes
+    /// nothing: every recovery hook short-circuits, so such runs stay
+    /// cycle-identical to ones that never called this.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.net.install_recovery(policy);
+        self.recovery = policy;
         self
     }
 
@@ -906,6 +986,144 @@ impl Simulation {
         }
     }
 
+    // ----- slice re-homing (closed-loop recovery) ---------------------------
+
+    /// The slice that will actually service `vpn` for `core` at `self.now`:
+    /// the static home, unless re-homing is armed and the home is inside
+    /// an injected offline window — then a deterministic backup slice.
+    /// Also performs the lazy home-back handoff when a previously offline
+    /// home is observed healthy again.
+    ///
+    /// The result is a pure function of (plan, policy, organization,
+    /// cycle, vpn), so identical runs — sequential or domain-parallel —
+    /// resolve identically.
+    fn resolve_home(&mut self, vpn: VirtPageNum, core: CoreId) -> ResolvedHome {
+        let (home_idx, home_tile) = self.org.home_of(vpn, core);
+        let static_home = ResolvedHome {
+            idx: home_idx,
+            tile: home_tile,
+            orig_idx: home_idx,
+            rehomed: false,
+            degraded: false,
+        };
+        if !self.recovery.is_enabled() || self.faults.is_empty() || !self.config.org.is_shared() {
+            return static_home;
+        }
+        let now = self.now.value();
+        if !self.faults.slice_offline(home_idx, now) {
+            self.maybe_home_back(home_idx);
+            return static_home;
+        }
+        if !self.recovery.rehome {
+            return ResolvedHome {
+                degraded: true,
+                ..static_home
+            };
+        }
+        match self.activate_rehome(home_idx) {
+            Some(backup_idx) => ResolvedHome {
+                idx: backup_idx,
+                tile: self.org.tile_of(backup_idx),
+                orig_idx: home_idx,
+                rehomed: true,
+                degraded: false,
+            },
+            // Every candidate backup is also offline: serve degraded.
+            None => ResolvedHome {
+                degraded: true,
+                ..static_home
+            },
+        }
+    }
+
+    /// The deterministic backup for an offline slice at `now`: the next
+    /// healthy slice scanning upward (wrapping), or — for cluster-homed
+    /// organizations — the same set-range residue in the next surviving
+    /// cluster, so the backup indexes its sets identically to the home.
+    fn backup_slice(&self, home_idx: usize, now: u64) -> Option<usize> {
+        let count = self.org.count();
+        match self.config.org {
+            TlbOrg::Hier { cluster_size, .. } => {
+                let residue = home_idx % cluster_size;
+                let clusters = count / cluster_size;
+                let home_cluster = home_idx / cluster_size;
+                (1..clusters)
+                    .map(|j| ((home_cluster + j) % clusters) * cluster_size + residue)
+                    .find(|&c| !self.faults.slice_offline(c, now))
+            }
+            _ => (1..count)
+                .map(|s| (home_idx + s) % count)
+                .find(|&c| !self.faults.slice_offline(c, now)),
+        }
+    }
+
+    /// Opens (or re-validates) the re-homing window for an offline home.
+    /// Returns the backup slice index, or `None` when the fault plan has
+    /// every candidate offline too.
+    fn activate_rehome(&mut self, home_idx: usize) -> Option<usize> {
+        let now = self.now.value();
+        if let Some(r) = self.rehomed.get(&home_idx) {
+            if !self.faults.slice_offline(r.backup_idx, now) {
+                return Some(r.backup_idx);
+            }
+            // Cascading outage reached the backup: close this window
+            // (dropping its stale copies) before electing a new backup.
+            self.handoff(home_idx);
+        }
+        let backup_idx = self.backup_slice(home_idx, now)?;
+        self.rehome_activations.incr();
+        self.rehomed.insert(
+            home_idx,
+            Rehome {
+                backup_idx,
+                since: self.now,
+                first_served: false,
+                inserted: BTreeSet::new(),
+            },
+        );
+        Some(backup_idx)
+    }
+
+    /// Closes the re-homing window for `home_idx` if one is open: every
+    /// entry the backup absorbed during the window is invalidated there,
+    /// so no stale copy outlives the redirect once traffic homes back.
+    fn maybe_home_back(&mut self, home_idx: usize) {
+        if !self.rehomed.is_empty() && self.rehomed.contains_key(&home_idx) {
+            self.rehome_homebacks.incr();
+            self.handoff(home_idx);
+        }
+    }
+
+    /// The coherent-handoff invalidation sweep for one closing window.
+    fn handoff(&mut self, home_idx: usize) {
+        let Some(rehome) = self.rehomed.remove(&home_idx) else {
+            return;
+        };
+        self.rehome_handoff_entries
+            .record(rehome.inserted.len() as u64);
+        let now = self.now;
+        let slice = self.org.structure_mut(rehome.backup_idx);
+        if !rehome.inserted.is_empty() {
+            slice.schedule_write(now);
+        }
+        for (asid, vpn) in &rehome.inserted {
+            slice.invalidate(*asid, *vpn);
+        }
+    }
+
+    /// Inserts into the resolved home, remembering redirected entries so
+    /// the home-back handoff can invalidate them.
+    fn insert_resolved(&mut self, home: ResolvedHome, entry: TlbEntry) {
+        self.insert_home(home.idx, entry);
+        if home.rehomed {
+            if let Some(r) = self.rehomed.get_mut(&home.orig_idx) {
+                if r.backup_idx == home.idx {
+                    r.inserted.insert((entry.asid(), entry.vpn()));
+                }
+            }
+        }
+    }
+
     // ----- the translation path --------------------------------------------
 
     fn issue(&mut self, t: usize) -> Result<(), Box<SimError>> {
@@ -953,7 +1171,8 @@ impl Simulation {
             None => self.live_backing(t, va),
         };
         let vpn = va.page_number(size);
-        let (home_idx, home_tile) = self.org.home_of(vpn, core);
+        let home = self.resolve_home(vpn, core);
+        let (home_idx, home_tile) = (home.idx, home.tile);
         let id = self.alloc_tx();
         let lookup = LookupTx {
             thread: t,
@@ -970,6 +1189,9 @@ impl Simulation {
             tracker_closed: false,
             slice_done_at: self.now,
             walk_cycles: 0,
+            orig_home_idx: home.orig_idx,
+            rehomed: home.rehomed,
+            degraded: home.degraded,
         };
         self.trace.emit(TraceRecord {
             cycle: self.now.value(),
@@ -1103,13 +1325,19 @@ impl Simulation {
         // Cluster-homed organizations may shift the walk to the home
         // tile's walker when it is free strictly earlier; both candidates
         // are in the requester's cluster, so no overlay traffic is added.
+        // A re-homed lookup's backup lives in *another* cluster, so the
+        // walk stays where it is (no cross-cluster walker stealing).
         let walk_core = match self.config.org {
-            TlbOrg::Hier { cluster_size, .. } => nocstar_mem::walker::cluster_walker(
-                walk_core,
-                lookup.home_tile,
-                cluster_size,
-                &self.walker_free,
-            ),
+            TlbOrg::Hier { cluster_size, .. }
+                if walk_core.index() / cluster_size == lookup.home_tile.index() / cluster_size =>
+            {
+                nocstar_mem::walker::cluster_walker(
+                    walk_core,
+                    lookup.home_tile,
+                    cluster_size,
+                    &self.walker_free,
+                )
+            }
             _ => walk_core,
         };
         let start = self.now.max(self.walker_free[walk_core.index()]);
@@ -1183,7 +1411,7 @@ impl Simulation {
             // Insert into the home structure (remotely if needed), then the
             // translation is immediately usable at the requester.
             if local {
-                self.insert_home(lookup.home_idx, entry);
+                self.insert_resolved(lookup.resolved_home(), entry);
             } else {
                 let iid = self.alloc_tx();
                 self.txs.insert(iid, TxState::Insert(entry));
@@ -1197,7 +1425,7 @@ impl Simulation {
             self.complete_translation(l)?;
         } else {
             // Walked at the remote node: insert locally, respond.
-            self.insert_home(lookup.home_idx, entry);
+            self.insert_resolved(lookup.resolved_home(), entry);
             self.charge_message(lookup.home_tile, lookup.requester);
             self.net.respond(
                 Message::new(id, lookup.home_tile, lookup.requester, MsgKind::TlbResponse),
@@ -1260,6 +1488,18 @@ impl Simulation {
             a: lookup.va.value(),
             b: total.value(),
         });
+        if lookup.rehomed {
+            self.recovered_translations.incr();
+            if let Some(r) = self.rehomed.get_mut(&lookup.orig_home_idx) {
+                if !r.first_served {
+                    r.first_served = true;
+                    self.detect_to_recovered
+                        .record((self.now - r.since).value());
+                }
+            }
+        } else if lookup.degraded {
+            self.degraded_translations.incr();
+        }
         self.l1s[lookup.requester.index()].insert(entry);
         let pa = entry.translate(lookup.va);
         let data = self.mem.access(lookup.requester, pa, lookup.is_write);
@@ -1322,6 +1562,20 @@ impl Simulation {
         // IPIs reach every core: private L1s drop the stale translation.
         for l1 in &mut self.l1s {
             l1.invalidate(asid, vpn);
+        }
+        // Re-homing may have placed copies outside the static homes the
+        // invalidation messages target. The IPI reaches every tile, so
+        // each active backup drops its redirected copy immediately.
+        if !self.rehomed.is_empty() {
+            let mut backups: Vec<usize> = Vec::new();
+            for r in self.rehomed.values_mut() {
+                if r.inserted.remove(&(asid, vpn)) {
+                    backups.push(r.backup_idx);
+                }
+            }
+            for b in backups {
+                self.org.structure_mut(b).invalidate(asid, vpn);
+            }
         }
         match self.config.org {
             TlbOrg::Private { .. } | TlbOrg::IdealShared { .. } => {
@@ -1436,8 +1690,11 @@ impl Simulation {
                     return Err(self.protocol_error(format!("insert for unknown transaction {id}")));
                 };
                 let vpn = entry.vpn();
-                let (home_idx, _) = self.org.home_of(vpn, d.msg.dst);
-                self.insert_home(home_idx, entry);
+                // Resolve at delivery time: if the static home went
+                // offline while this insert was in flight, it lands at
+                // the current backup (and is tracked for the handoff).
+                let home = self.resolve_home(vpn, d.msg.dst);
+                self.insert_resolved(home, entry);
             }
             MsgKind::Invalidation => {
                 let Some(TxState::Inval {
@@ -1498,6 +1755,14 @@ impl Simulation {
         self.fault_slice_misses = Counter::new();
         self.fault_walk_spikes = Counter::new();
         self.fault_storm_relays = Counter::new();
+        // Recovery *statistics* reset; active re-homing windows are state,
+        // not stats, and survive the warmup boundary.
+        self.recovered_translations = Counter::new();
+        self.degraded_translations = Counter::new();
+        self.rehome_activations = Counter::new();
+        self.rehome_homebacks = Counter::new();
+        self.rehome_handoff_entries = Log2Histogram::new();
+        self.detect_to_recovered = Log2Histogram::new();
         self.metrics.reset_values();
         self.trace.clear();
     }
@@ -1593,6 +1858,66 @@ impl Simulation {
                 }
                 let h = self.metrics.histogram("faults.retries_per_fallback");
                 self.metrics.merge_histogram(h, &fs.retries_per_fallback);
+            }
+        }
+        // Recovery accounting exists only when a policy AND a plan are
+        // installed, so recovery-off reports (and their goldens) stay
+        // byte-identical to builds that never heard of recovery.
+        if self.recovery.is_enabled() && !self.faults.is_empty() {
+            for (name, v) in [
+                (
+                    "recovery.translations_recovered",
+                    self.recovered_translations.get(),
+                ),
+                (
+                    "recovery.translations_degraded",
+                    self.degraded_translations.get(),
+                ),
+                ("recovery.rehome_activations", self.rehome_activations.get()),
+                ("recovery.rehome_homebacks", self.rehome_homebacks.get()),
+            ] {
+                let c = self.metrics.counter(name);
+                self.metrics.add(c, v);
+            }
+            let handoff = self.rehome_handoff_entries;
+            let h = self.metrics.histogram("recovery.rehome_handoff_entries");
+            self.metrics.merge_histogram(h, &handoff);
+            let recovered = self.detect_to_recovered;
+            let h = self
+                .metrics
+                .histogram("recovery.detect_to_recovered_cycles");
+            self.metrics.merge_histogram(h, &recovered);
+            for (name, p) in [
+                ("recovery.detect_to_recovered_p50", 50.0),
+                ("recovery.detect_to_recovered_p99", 99.0),
+            ] {
+                if let Some(v) = recovered.approx_percentile(p) {
+                    let c = self.metrics.counter(name);
+                    self.metrics.add(c, v);
+                }
+            }
+            if let Some(rs) = self.net.recovery_stats() {
+                for (name, v) in [
+                    ("recovery.reroutes", rs.reroutes),
+                    ("recovery.detour_extra_hops", rs.detour_extra_hops),
+                    ("recovery.reroute_failed", rs.reroute_failed),
+                    ("recovery.escalations", rs.escalations),
+                    ("recovery.gateway_failovers", rs.gateway_failovers),
+                ] {
+                    let c = self.metrics.counter(name);
+                    self.metrics.add(c, v);
+                }
+                let h = self.metrics.histogram("recovery.detect_to_reroute_cycles");
+                self.metrics.merge_histogram(h, &rs.detect_to_reroute);
+                for (name, p) in [
+                    ("recovery.detect_to_reroute_p50", 50.0),
+                    ("recovery.detect_to_reroute_p99", 99.0),
+                ] {
+                    if let Some(v) = rs.detect_to_reroute.approx_percentile(p) {
+                        let c = self.metrics.counter(name);
+                        self.metrics.add(c, v);
+                    }
+                }
             }
         }
     }
@@ -1752,6 +2077,137 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.l2.misses(), b.l2.misses());
         assert_eq!(a.walks, b.walks);
+    }
+
+    fn run_with_recovery(
+        cores: usize,
+        org: TlbOrg,
+        accesses: u64,
+        plan: &str,
+        policy: Option<RecoveryPolicy>,
+    ) -> SimReport {
+        let mut config = SystemConfig::new(cores, org);
+        config.metrics = true;
+        let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+        let mut sim = Simulation::new(config, workload)
+            .with_faults(FaultPlan::parse(plan).expect("valid plan"));
+        if let Some(p) = policy {
+            sim = sim.with_recovery(p);
+        }
+        sim.run(accesses)
+    }
+
+    #[test]
+    fn recovery_beats_open_loop_on_a_mesh_link_outage() {
+        // The standard faultsweep outage: every link dead for cycles
+        // 4000-9000. Open loop waits the window out; the closed loop
+        // detours (no healthy detour exists here) and then escalates out
+        // of the bounded retry far before the window clears.
+        let plan = "link:*@4000-9000=off";
+        let open = run_with_recovery(16, TlbOrg::paper_distributed(), 800, plan, None);
+        let closed = run_with_recovery(
+            16,
+            TlbOrg::paper_distributed(),
+            800,
+            plan,
+            Some(RecoveryPolicy::all()),
+        );
+        assert_eq!(open.accesses, closed.accesses);
+        assert!(
+            closed.translation_latency.mean() < open.translation_latency.mean(),
+            "closed loop {} vs open loop {}",
+            closed.translation_latency.mean(),
+            open.translation_latency.mean()
+        );
+        assert!(closed.cycles < open.cycles);
+        assert!(closed.metrics.counter("recovery.escalations").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn rehoming_beats_open_loop_on_a_hier_cluster_outage() {
+        // One whole cluster offline for most of the run: open loop walks
+        // every access homed there; re-homing redirects the set range to
+        // the same residue slice in a surviving cluster, which warms up
+        // and then hits.
+        let plan = "cluster:1/4@1000-400000";
+        let open = run_with_recovery(16, TlbOrg::paper_hier(4), 800, plan, None);
+        let closed = run_with_recovery(
+            16,
+            TlbOrg::paper_hier(4),
+            800,
+            plan,
+            Some(RecoveryPolicy::all()),
+        );
+        assert_eq!(open.accesses, closed.accesses);
+        assert!(
+            closed.translation_latency.mean() < open.translation_latency.mean(),
+            "closed loop {} vs open loop {}",
+            closed.translation_latency.mean(),
+            open.translation_latency.mean()
+        );
+        assert!(closed.walks < open.walks, "re-homing must eliminate walks");
+        let recovered = closed
+            .metrics
+            .counter("recovery.translations_recovered")
+            .unwrap_or(0);
+        assert!(recovered > 0, "no translation was served by a backup");
+        assert!(
+            closed
+                .metrics
+                .histogram("recovery.detect_to_recovered_cycles")
+                .is_some_and(|h| h.count() > 0),
+            "detect-to-recovered latency must be measured"
+        );
+    }
+
+    #[test]
+    fn rehomed_windows_close_with_a_coherent_handoff() {
+        // A short offline window inside the run: entries the backup
+        // absorbed are invalidated when traffic homes back, and both
+        // directions are counted.
+        let plan = "slice:3@500-4000";
+        let r = run_with_recovery(
+            8,
+            TlbOrg::paper_distributed(),
+            600,
+            plan,
+            Some(RecoveryPolicy::all()),
+        );
+        let activations = r
+            .metrics
+            .counter("recovery.rehome_activations")
+            .unwrap_or(0);
+        let homebacks = r.metrics.counter("recovery.rehome_homebacks").unwrap_or(0);
+        assert!(activations > 0, "window never opened");
+        assert!(homebacks > 0, "window never closed");
+        assert!(homebacks <= activations);
+    }
+
+    #[test]
+    fn recovery_off_reports_carry_no_recovery_metrics() {
+        let plan = "slice:3@500-4000";
+        let r = run_with_recovery(8, TlbOrg::paper_distributed(), 300, plan, None);
+        assert!(r
+            .metrics
+            .samples()
+            .iter()
+            .all(|s| !s.name.starts_with("recovery.")));
+    }
+
+    #[test]
+    fn recovery_runs_are_deterministic() {
+        let mk = || {
+            run_with_recovery(
+                16,
+                TlbOrg::paper_hier(4),
+                400,
+                "cluster:1/4@1000-100000; link:5@2000-3000=off",
+                Some(RecoveryPolicy::all()),
+            )
+        };
+        let a = mk().to_json().to_string();
+        let b = mk().to_json().to_string();
+        assert_eq!(a, b);
     }
 
     #[test]

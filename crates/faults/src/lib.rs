@@ -16,6 +16,10 @@
 //! * [`FaultStats`] — counters and histograms every fault and recovery
 //!   action feeds (denied setups, blocked links, escape fallbacks,
 //!   retry/backoff accounting), harvested into the metrics registry.
+//! * [`recovery`] — the closed-loop response layer: a [`RecoveryPolicy`]
+//!   arms adaptive re-routing, slice re-homing, gateway failover and
+//!   escalating retry against an installed plan, with every action
+//!   accounted in [`RecoveryStats`].
 //!
 //! Determinism: every decision is a pure function of `(plan, cycle,
 //! message id)`. The same plan and seed always produce byte-identical
@@ -23,6 +27,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod recovery;
+
+pub use recovery::{RecoveryPolicy, RecoveryStats};
 
 use nocstar_stats::metrics::Log2Histogram;
 use std::fmt;
@@ -339,16 +347,19 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed clause.
+    /// Returns the first malformed clause together with its byte offset in
+    /// the spec, so a typo inside a long plan is locatable at a glance.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::default();
-        for clause in spec.split(';') {
-            let clause = clause.trim();
-            if clause.is_empty() {
-                continue;
+        let mut offset = 0usize;
+        for seg in spec.split(';') {
+            let clause = seg.trim();
+            if !clause.is_empty() {
+                let at = offset + (seg.len() - seg.trim_start().len());
+                plan.parse_clause(clause)
+                    .map_err(|e| format!("bad fault clause `{clause}` at byte {at}: {e}"))?;
             }
-            plan.parse_clause(clause)
-                .map_err(|e| format!("bad fault clause `{clause}`: {e}"))?;
+            offset += seg.len() + 1;
         }
         Ok(plan)
     }
@@ -851,6 +862,34 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should be rejected");
         }
+    }
+
+    #[test]
+    fn parse_errors_name_the_clause_and_byte_offset() {
+        // The second clause is the bad one; its `c` sits at byte 12.
+        let err = FaultPlan::parse("deny@10-20; cluster:2@0-5; storm@0-5").unwrap_err();
+        assert!(err.contains("`cluster:2@0-5`"), "names the clause: {err}");
+        assert!(err.contains("at byte 12"), "locates the clause: {err}");
+        assert!(err.contains("K/S"), "explains the expected shape: {err}");
+
+        // A malformed slice clause deeper in the spec reports its own
+        // offset, not the spec start.
+        let spec = "seed=7; link:*@0-9=off; slice:x@0-5";
+        let err = FaultPlan::parse(spec).unwrap_err();
+        assert!(err.contains("`slice:x@0-5`"), "names the clause: {err}");
+        let at = spec.find("slice:").unwrap();
+        assert!(err.contains(&format!("at byte {at}")), "offset: {err}");
+        assert!(err.contains("not a number"), "explains the cause: {err}");
+
+        // Leading whitespace counts toward the offset of the clause body.
+        let err = FaultPlan::parse("   slice:@0-5").unwrap_err();
+        assert!(err.contains("at byte 3"), "skips leading spaces: {err}");
+
+        // Cluster selectors with a zero size are named too.
+        let err = FaultPlan::parse("cluster:1/0@0-5").unwrap_err();
+        assert!(err.contains("`cluster:1/0@0-5`"), "{err}");
+        assert!(err.contains("at byte 0"), "{err}");
+        assert!(err.contains("nonzero"), "{err}");
     }
 
     #[test]

@@ -19,7 +19,10 @@ use crate::arbiter::PriorityRotation;
 use crate::message::{Delivery, Message, MsgKind};
 use crate::topology::{LinkId, Links};
 use crate::{Interconnect, NocStats};
-use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, LinkState, PendingMessage, SimError};
+use nocstar_faults::{
+    DiagSnapshot, FaultPlan, FaultStats, LinkState, PendingMessage, RecoveryPolicy, RecoveryStats,
+    SimError,
+};
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::MeshShape;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -105,6 +108,10 @@ pub struct CircuitFabric {
     faults: FaultPlan,
     /// Fault/recovery actions taken so far.
     fstats: FaultStats,
+    /// Closed-loop recovery policy (disabled by default).
+    recovery: RecoveryPolicy,
+    /// Recovery actions taken so far.
+    rstats: RecoveryStats,
 }
 
 impl CircuitFabric {
@@ -148,6 +155,8 @@ impl CircuitFabric {
             contention_free: false,
             faults: FaultPlan::default(),
             fstats: FaultStats::default(),
+            recovery: RecoveryPolicy::default(),
+            rstats: RecoveryStats::default(),
         }
     }
 
@@ -353,11 +362,13 @@ impl CircuitFabric {
         // Remove proceeded messages; bump the rest to retry. Contention
         // losers retry next cycle (the paper's behavior); fault-blocked
         // messages back off deterministically and, once they exhaust the
-        // plan's retry budget, escape over the buffered multi-hop service
-        // path so no translation is ever lost.
+        // retry budget — the plan's, or the tighter escalation threshold
+        // when a recovery policy is armed — escape over the buffered
+        // multi-hop service path so no translation is ever lost.
         let proceeded_set: BTreeSet<usize> = proceeded.into_iter().collect();
         let active_set: BTreeSet<usize> = active.into_iter().collect();
-        let max_fault_attempts = self.faults.retry.max_attempts;
+        let max_fault_attempts = self.recovery.effective_max_attempts(self.faults.retry);
+        let plan_attempts = self.faults.retry.max_attempts;
         let mut escapes: Vec<(Message, Cycle, Cycle, u64)> = Vec::new();
         let mut kept = Vec::with_capacity(self.pending.len());
         for (i, mut p) in std::mem::take(&mut self.pending).into_iter().enumerate() {
@@ -369,7 +380,12 @@ impl CircuitFabric {
                 self.stats.retries += 1;
                 if fault_blocked.contains(&i) {
                     p.fault_attempts += 1;
-                    if max_fault_attempts.is_some_and(|m| p.fault_attempts >= u64::from(m)) {
+                    if max_fault_attempts.is_some_and(|m| p.fault_attempts >= m) {
+                        if plan_attempts.is_none_or(|pm| p.fault_attempts < u64::from(pm)) {
+                            // The escalation threshold, not the plan's
+                            // budget, triggered this escape.
+                            self.rstats.escalations += 1;
+                        }
                         // Escape: deliver over the (slow) buffered fallback
                         // at ~2 cycles/hop, releasing the fast fabric. No
                         // reservation is made, so round-trip responses to
@@ -465,9 +481,18 @@ impl Interconnect for CircuitFabric {
         &self.stats
     }
 
+    fn install_recovery(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+    }
+
+    fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        Some(&self.rstats)
+    }
+
     fn reset_stats(&mut self) {
         self.stats.reset();
         self.fstats.reset();
+        self.rstats.reset();
     }
 
     fn install_faults(&mut self, plan: FaultPlan) {
@@ -774,6 +799,35 @@ mod tests {
         assert_eq!(fs.fallbacks, 1);
         assert_eq!(fs.retries_per_fallback.count(), 1);
         assert!(fs.link_blocked >= 4);
+    }
+
+    #[test]
+    fn escalation_clamps_setup_retry_and_unwedges_unbounded_plans() {
+        // Escalation escapes after 3 attempts instead of the plan's 16.
+        let open = {
+            let mut f = fabric(16, 16);
+            f.install_faults("link:*@0-1000000=off".parse().unwrap());
+            f.submit(Cycle::ZERO, msg(1, 0, 15));
+            run_until_idle(&mut f, Cycle::ZERO)[0].at
+        };
+        let mut f = fabric(16, 16);
+        f.install_faults("link:*@0-1000000=off".parse().unwrap());
+        f.install_recovery(RecoveryPolicy::all());
+        f.submit(Cycle::ZERO, msg(1, 0, 15));
+        let d = run_until_idle(&mut f, Cycle::ZERO);
+        assert!(d[0].at < open, "{:?} vs {open:?}", d[0].at);
+        assert_eq!(f.recovery_stats().unwrap().escalations, 1);
+        assert_eq!(f.fault_stats().unwrap().fallbacks, 1);
+
+        // Even `retry=inf` cannot wedge an escalating fabric.
+        let mut f = fabric(16, 16);
+        f.install_faults("link:*@0-1000000000=off; retry=inf".parse().unwrap());
+        f.install_recovery(RecoveryPolicy::all());
+        f.submit(Cycle::ZERO, msg(1, 0, 15));
+        let d = crate::drain_until_idle(&mut f, Cycle::ZERO, 2_000)
+            .expect("escalation must bound the retry ladder");
+        assert_eq!(d.len(), 1);
+        assert_eq!(f.recovery_stats().unwrap().escalations, 1);
     }
 
     #[test]

@@ -44,7 +44,9 @@ use crate::mesh::MeshNoc;
 use crate::message::{Delivery, Message};
 use crate::smart::SmartNoc;
 use crate::{Interconnect, NocStats};
-use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, PendingMessage};
+use nocstar_faults::{
+    DiagSnapshot, FaultPlan, FaultStats, PendingMessage, RecoveryPolicy, RecoveryStats,
+};
 use nocstar_types::cluster::ClusterMap;
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::{CoreId, MeshShape};
@@ -299,6 +301,13 @@ impl Inter {
         }
     }
 
+    fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        match self {
+            Inter::Mesh(n) => n.recovery_stats(),
+            Inter::Smart(n) => n.recovery_stats(),
+        }
+    }
+
     fn diagnostics(&self, cycle: Cycle) -> DiagSnapshot {
         match self {
             Inter::Mesh(n) => n.diagnostics(cycle),
@@ -344,6 +353,10 @@ pub struct HierNoc {
     routes: BTreeMap<u64, Route>,
     stats: NocStats,
     faults: FaultPlan,
+    recovery: RecoveryPolicy,
+    /// Gateway-failover actions taken at this level (overlay re-routing
+    /// and escalation live in the inter fabric's own stats).
+    rstats: RecoveryStats,
 }
 
 impl HierNoc {
@@ -375,6 +388,8 @@ impl HierNoc {
             routes: BTreeMap::new(),
             stats: NocStats::with_links(0),
             faults: FaultPlan::default(),
+            recovery: RecoveryPolicy::default(),
+            rstats: RecoveryStats::default(),
         }
     }
 
@@ -386,6 +401,43 @@ impl HierNoc {
     /// The overlay grid (one tile per cluster).
     pub fn overlay_shape(&self) -> MeshShape {
         self.overlay_shape
+    }
+
+    /// The gateway tile serving cluster `k` at `cycle`. Statically this
+    /// is the cluster base; with gateway failover armed and the static
+    /// gateway's tile offline (a `slice:`/`cluster:` window covering it),
+    /// the lowest-indexed surviving cluster member is elected instead.
+    /// Election is a pure function of `(plan, policy, cycle)`, so every
+    /// leg of a message — and every repeat of the run — agrees on it;
+    /// the static gateway resumes as soon as its window ends. With no
+    /// survivor (the whole cluster is down) the static gateway stands,
+    /// and the simulator's slice re-homing redirects traffic instead.
+    fn gateway_at(&mut self, k: usize, cycle: Cycle) -> CoreId {
+        let gw = self.map.gateway(k);
+        if !self.recovery.failover
+            || self.faults.is_empty()
+            || !self.faults.slice_offline(gw.index(), cycle.value())
+        {
+            return gw;
+        }
+        let base = self.map.base(k);
+        for member in base..base + self.map.cluster_size() {
+            if !self.faults.slice_offline(member, cycle.value()) {
+                self.rstats.gateway_failovers += 1;
+                return CoreId::new(member);
+            }
+        }
+        gw
+    }
+
+    /// This fabric's recovery actions merged with its overlay's (gateway
+    /// failovers here, re-routes/escalations in the inter fabric).
+    pub fn recovery_stats_merged(&self) -> RecoveryStats {
+        let mut merged = self.rstats.clone();
+        if let Some(inner) = self.inter.recovery_stats() {
+            merged.merge(inner);
+        }
+        merged
     }
 
     /// Zero-queueing end-to-end latency of the `src -> dst` route: one
@@ -470,7 +522,7 @@ impl HierNoc {
                     },
                 );
                 self.stats.grants += 1;
-                let gw = self.map.gateway(cd);
+                let gw = self.gateway_at(cd, d.at);
                 self.intra[cd].as_dyn().submit(
                     d.at,
                     Message::new(route.msg.id, gw, route.msg.dst, route.msg.kind),
@@ -516,7 +568,7 @@ impl Interconnect for HierNoc {
             );
             // First leg: source tile to its gateway (a free local message
             // when the source *is* the gateway).
-            let gw = self.map.gateway(cs);
+            let gw = self.gateway_at(cs, now);
             self.intra[cs]
                 .as_dyn()
                 .submit(now, Message::new(msg.id, msg.src, gw, msg.kind));
@@ -573,6 +625,7 @@ impl Interconnect for HierNoc {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+        self.rstats.reset();
         for f in &mut self.intra {
             f.as_dyn().reset_stats();
         }
@@ -589,6 +642,20 @@ impl Interconnect for HierNoc {
 
     fn fault_stats(&self) -> Option<&FaultStats> {
         self.inter.fault_stats()
+    }
+
+    fn install_recovery(&mut self, policy: RecoveryPolicy) {
+        // Failover is handled here; re-routing and escalation act on the
+        // overlay's links, so the policy is forwarded down as well.
+        self.recovery = policy;
+        self.inter.as_dyn().install_recovery(policy);
+    }
+
+    fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        // This level's own actions (gateway failovers). Use
+        // [`HierNoc::recovery_stats_merged`] for the overlay-inclusive
+        // aggregate.
+        Some(&self.rstats)
     }
 
     fn diagnostics(&self, cycle: Cycle) -> DiagSnapshot {
@@ -751,6 +818,52 @@ mod tests {
                 .link_blocked
                 > 0
         );
+    }
+
+    #[test]
+    fn gateway_failover_elects_a_surviving_member_and_reverts() {
+        let mut noc = hier(64, 16);
+        // Gateway tile 48 (cluster 3's base) offline for [0, 100).
+        noc.install_faults("slice:48@0-100".parse().unwrap());
+        noc.install_recovery("failover".parse().unwrap());
+        // Cross-cluster message into cluster 3 during the outage: the
+        // final leg runs through elected gateway 49, not 48.
+        noc.submit(Cycle::ZERO, msg(1, 5, 50));
+        let d = drain(&mut noc, Cycle::ZERO);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].msg.dst, CoreId::new(50));
+        assert!(noc.recovery_stats().unwrap().gateway_failovers > 0);
+        let merged = noc.recovery_stats_merged();
+        assert!(merged.gateway_failovers > 0);
+        // After the window the static gateway is re-elected.
+        assert_eq!(noc.gateway_at(3, Cycle::new(100)), CoreId::new(48));
+        assert_eq!(noc.gateway_at(3, Cycle::new(50)), CoreId::new(49));
+    }
+
+    #[test]
+    fn whole_cluster_outage_leaves_the_static_gateway() {
+        let mut noc = hier(64, 16);
+        noc.install_faults("cluster:3/16@0-100".parse().unwrap());
+        noc.install_recovery(RecoveryPolicy::all());
+        // No surviving member: the static gateway stands (the simulator's
+        // re-homing layer redirects traffic away from the cluster).
+        assert_eq!(noc.gateway_at(3, Cycle::new(50)), CoreId::new(48));
+    }
+
+    #[test]
+    fn overlay_recovery_flows_through_the_installed_policy() {
+        let mut noc = hier(64, 16);
+        noc.install_faults("link:*@0-100000=off".parse().unwrap());
+        noc.install_recovery(RecoveryPolicy::all());
+        noc.submit(Cycle::ZERO, msg(1, 1, 50));
+        let d = drain(&mut noc, Cycle::ZERO);
+        assert_eq!(d.len(), 1);
+        assert!(
+            d[0].at < Cycle::new(100000),
+            "overlay must escalate, not wait"
+        );
+        let merged = noc.recovery_stats_merged();
+        assert!(merged.escalations > 0 || merged.reroutes > 0);
     }
 
     #[test]

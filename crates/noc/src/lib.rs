@@ -67,7 +67,9 @@ pub use mesh::MeshNoc;
 pub use message::{Delivery, Message, MsgKind};
 pub use smart::SmartNoc;
 
-use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, SimError};
+use nocstar_faults::{
+    DiagSnapshot, FaultPlan, FaultStats, RecoveryPolicy, RecoveryStats, SimError,
+};
 use nocstar_stats::latency::LatencyRecorder;
 use nocstar_types::time::{Cycle, Cycles};
 
@@ -111,6 +113,17 @@ pub trait Interconnect {
 
     /// Fault/recovery statistics, if this model tracks them.
     fn fault_stats(&self) -> Option<&FaultStats> {
+        None
+    }
+
+    /// Installs a closed-loop recovery policy to act on the installed
+    /// fault plan (detour re-routing, escalating retry, gateway
+    /// failover). Models with no recovery hooks ignore it (the default) —
+    /// a policy without a non-empty plan never changes behaviour.
+    fn install_recovery(&mut self, _policy: RecoveryPolicy) {}
+
+    /// Recovery-action statistics, if this model tracks them.
+    fn recovery_stats(&self) -> Option<&RecoveryStats> {
         None
     }
 

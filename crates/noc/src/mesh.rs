@@ -11,7 +11,9 @@
 use crate::message::{Delivery, Message};
 use crate::topology::Links;
 use crate::{Interconnect, NocStats};
-use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, LinkState, PendingMessage};
+use nocstar_faults::{
+    DiagSnapshot, FaultPlan, FaultStats, LinkState, PendingMessage, RecoveryPolicy, RecoveryStats,
+};
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::{Coord, MeshShape};
 use std::collections::{BTreeSet, BinaryHeap};
@@ -28,6 +30,9 @@ struct Flight {
     submitted_at: Cycle,
     stalled: bool,
     fault_attempts: u64,
+    // First cycle an outage blocked this flight (recovery's detect time);
+    // cleared once a detour departs.
+    blocked_at: Option<Cycle>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +81,8 @@ pub struct MeshNoc {
     stats: NocStats,
     faults: FaultPlan,
     fstats: FaultStats,
+    recovery: RecoveryPolicy,
+    rstats: RecoveryStats,
 }
 
 impl MeshNoc {
@@ -91,6 +98,8 @@ impl MeshNoc {
             seq: 0,
             faults: FaultPlan::default(),
             fstats: FaultStats::default(),
+            recovery: RecoveryPolicy::default(),
+            rstats: RecoveryStats::default(),
         }
     }
 
@@ -138,21 +147,65 @@ impl MeshNoc {
             };
             let link = self.links.link_between(from, to).index();
             if !self.faults.is_empty() && self.faults.link_outage(link, now) {
-                // The next hop is down: back off, then escape over the
-                // maintenance path once the retry budget is spent.
-                let max = self.faults.retry.max_attempts;
-                let f = &mut self.flights[i];
-                f.fault_attempts += 1;
-                f.stalled = true;
+                // The next hop is down: with a re-routing policy, detour
+                // around the outage; otherwise back off, then escape over
+                // the maintenance path once the retry budget is spent.
+                {
+                    let f = &mut self.flights[i];
+                    f.fault_attempts += 1;
+                    f.stalled = true;
+                    if f.blocked_at.is_none() {
+                        f.blocked_at = Some(cycle);
+                    }
+                }
                 self.stats.retries += 1;
                 self.fstats.link_blocked += 1;
-                if max.is_some_and(|m| f.fault_attempts >= u64::from(m)) {
+                if self.recovery.reroute {
+                    let (pos, cur, dst, old_remaining) = {
+                        let f = &self.flights[i];
+                        let last = f.tiles[f.tiles.len() - 1];
+                        (f.pos, f.tiles[f.pos], last, f.tiles.len() - 1 - f.pos)
+                    };
+                    let detour = self
+                        .links
+                        .detour(cur, dst, |l| self.faults.link_outage(l.index(), now));
+                    if let Some(path) = detour {
+                        self.rstats.reroutes += 1;
+                        self.rstats.detour_extra_hops +=
+                            (path.len() - 1).saturating_sub(old_remaining) as u64;
+                        let f = &mut self.flights[i];
+                        f.tiles.truncate(pos + 1);
+                        f.tiles.extend(path.into_iter().skip(1));
+                        // Picking the detour costs one decision cycle.
+                        f.ready_at = cycle + Cycles::ONE;
+                        if let Some(b) = f.blocked_at.take() {
+                            self.rstats
+                                .detect_to_reroute
+                                .record((f.ready_at - b).value());
+                        }
+                        continue;
+                    }
+                    self.rstats.reroute_failed += 1;
+                }
+                let max = self.recovery.effective_max_attempts(self.faults.retry);
+                let f = &mut self.flights[i];
+                if max.is_some_and(|m| f.fault_attempts >= m) {
                     let remaining = (f.tiles.len() - 1 - f.pos) as u64;
                     let arrival = cycle + Cycles::new(CYCLES_PER_HOP * remaining + 1);
                     let (msg, submitted_at, attempts) = (f.msg, f.submitted_at, f.fault_attempts);
                     done.push(i);
                     self.fstats.fallbacks += 1;
                     self.fstats.retries_per_fallback.record(attempts);
+                    if self
+                        .faults
+                        .retry
+                        .max_attempts
+                        .is_none_or(|pm| attempts < u64::from(pm))
+                    {
+                        // The policy's threshold, not the plan's budget,
+                        // triggered the escape.
+                        self.rstats.escalations += 1;
+                    }
                     self.schedule(msg, arrival, submitted_at, true);
                 } else {
                     let wait = self.faults.backoff(f.fault_attempts, f.msg.id);
@@ -215,6 +268,67 @@ impl Interconnect for MeshNoc {
             // waits out any outage on the path, and degraded links add
             // their per-traversal penalty.
             let tiles: Vec<Coord> = self.links.mesh().xy_path(msg.src, msg.dst).collect();
+            let now_v = now.value();
+            let statically_blocked = (self.recovery.reroute || self.recovery.escalate.is_some())
+                && tiles.windows(2).any(|pair| {
+                    let link = self.links.link_between(pair[0], pair[1]).index();
+                    self.faults.link_outage(link, now_v)
+                });
+            if statically_blocked {
+                // Closed loop: instead of waiting out the outage window,
+                // detour around it (one decision cycle), or escalate to
+                // the buffered escape path after a bounded backoff.
+                let static_hops = tiles.len() - 1;
+                if self.recovery.reroute {
+                    let detour = self.links.detour(tiles[0], tiles[static_hops], |l| {
+                        self.faults.link_outage(l.index(), now_v)
+                    });
+                    if let Some(path) = detour {
+                        let hops = path.len() - 1;
+                        let mut extra = 0u64;
+                        let mut degraded = false;
+                        for pair in path.windows(2) {
+                            let link = self.links.link_between(pair[0], pair[1]).index();
+                            let d = self.faults.link_degrade(link, now_v + 1);
+                            degraded |= d > 0;
+                            extra += d;
+                        }
+                        if degraded {
+                            self.fstats.degraded_traversals += 1;
+                        }
+                        self.fstats.link_blocked += 1;
+                        self.rstats.reroutes += 1;
+                        self.rstats.detour_extra_hops += (hops - static_hops) as u64;
+                        self.rstats.detect_to_reroute.record(1);
+                        let arrival = now + Cycles::new(1 + hops as u64 * CYCLES_PER_HOP + extra);
+                        self.schedule(msg, arrival, now, true);
+                        return;
+                    }
+                    self.rstats.reroute_failed += 1;
+                }
+                if self.recovery.escalate.is_some() {
+                    // No fault-free path exists: emulate the bounded retry
+                    // ladder, then deliver over the buffered escape path.
+                    let k = self
+                        .recovery
+                        .effective_max_attempts(self.faults.retry)
+                        .unwrap_or(1);
+                    let mut wait = 0u64;
+                    for attempt in 1..=k {
+                        wait += self.faults.backoff(attempt, msg.id);
+                    }
+                    self.fstats.link_blocked += 1;
+                    self.fstats.backoff_cycles += wait;
+                    self.fstats.fallbacks += 1;
+                    self.fstats.retries_per_fallback.record(k);
+                    self.rstats.escalations += 1;
+                    let arrival = now + Cycles::new(wait + static_hops as u64 * CYCLES_PER_HOP + 1);
+                    self.schedule(msg, arrival, now, true);
+                    return;
+                }
+                // Re-routing armed but the mesh is disconnected and no
+                // escalation: fall through to the open-loop wait.
+            }
             let hops = tiles.len().saturating_sub(1) as u64;
             let mut start = now.value();
             let mut extra = 0u64;
@@ -250,6 +364,7 @@ impl Interconnect for MeshNoc {
             submitted_at: now,
             stalled: false,
             fault_attempts: 0,
+            blocked_at: None,
         });
     }
 
@@ -293,6 +408,7 @@ impl Interconnect for MeshNoc {
     fn reset_stats(&mut self) {
         self.stats.reset();
         self.fstats.reset();
+        self.rstats.reset();
     }
 
     fn install_faults(&mut self, plan: FaultPlan) {
@@ -301,6 +417,14 @@ impl Interconnect for MeshNoc {
 
     fn fault_stats(&self) -> Option<&FaultStats> {
         Some(&self.fstats)
+    }
+
+    fn install_recovery(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+    }
+
+    fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        Some(&self.rstats)
     }
 
     fn diagnostics(&self, cycle: Cycle) -> DiagSnapshot {
@@ -370,6 +494,90 @@ mod tests {
         let fs = noc.fault_stats().unwrap();
         assert_eq!(fs.link_blocked, 1);
         assert_eq!(fs.degraded_traversals, 1);
+    }
+
+    #[test]
+    fn reroute_detours_a_contended_flight_around_an_outage() {
+        // 4x4 mesh, single dead link on the XY route: the detour adds two
+        // hops instead of burning the whole retry budget.
+        let mut noc = MeshNoc::contended(MeshShape::new(4, 4));
+        noc.install_faults("link:0@0-1000000=off".parse().unwrap());
+        noc.install_recovery("reroute".parse().unwrap());
+        noc.submit(Cycle::ZERO, msg(1, 0, 3));
+        let d = drain(&mut noc);
+        assert_eq!(d.len(), 1);
+        let rs = noc.recovery_stats().unwrap();
+        assert_eq!(rs.reroutes, 1);
+        assert_eq!(rs.detour_extra_hops, 2);
+        assert_eq!(rs.detect_to_reroute.count(), 1);
+        assert_eq!(noc.fault_stats().unwrap().fallbacks, 0);
+        // 1 detect cycle + 5 detour hops x 2 cycles.
+        assert_eq!(d[0].at, Cycle::new(1 + 10));
+    }
+
+    #[test]
+    fn escalation_beats_the_full_retry_ladder_when_disconnected() {
+        // Whole-fabric outage: no detour exists, so recovery escalates to
+        // the escape path after 3 attempts instead of 16.
+        let shape = MeshShape::new(4, 1);
+        let open = {
+            let mut noc = MeshNoc::contended(shape);
+            noc.install_faults("link:*@0-1000000=off".parse().unwrap());
+            noc.submit(Cycle::ZERO, msg(1, 0, 3));
+            drain(&mut noc)[0].at
+        };
+        let mut noc = MeshNoc::contended(shape);
+        noc.install_faults("link:*@0-1000000=off".parse().unwrap());
+        noc.install_recovery(RecoveryPolicy::all());
+        noc.submit(Cycle::ZERO, msg(1, 0, 3));
+        let closed = drain(&mut noc)[0].at;
+        assert!(
+            closed < open,
+            "escalation must beat the open loop: {closed:?} vs {open:?}"
+        );
+        let rs = noc.recovery_stats().unwrap();
+        assert_eq!(rs.escalations, 1);
+        assert_eq!(rs.reroutes, 0);
+        assert!(rs.reroute_failed > 0);
+        assert_eq!(noc.fault_stats().unwrap().fallbacks, 1);
+    }
+
+    #[test]
+    fn contention_free_recovery_avoids_waiting_out_the_window() {
+        // The faultsweep plan: every link down for a long window. Open
+        // loop waits until cycle 1000; escalation escapes in tens of
+        // cycles; with a partial outage, the detour wins instead.
+        let shape = MeshShape::new(4, 4);
+        let mut noc = MeshNoc::contention_free(shape);
+        noc.install_faults("link:*@0-1000=off".parse().unwrap());
+        noc.install_recovery(RecoveryPolicy::all());
+        noc.submit(Cycle::ZERO, msg(1, 0, 3));
+        let d = drain(&mut noc);
+        assert!(d[0].at < Cycle::new(1000), "must not wait out the outage");
+        assert_eq!(noc.recovery_stats().unwrap().escalations, 1);
+
+        let mut noc = MeshNoc::contention_free(shape);
+        noc.install_faults("link:0@0-1000=off".parse().unwrap());
+        noc.install_recovery(RecoveryPolicy::all());
+        noc.submit(Cycle::ZERO, msg(2, 0, 3));
+        let d = drain(&mut noc);
+        // 1 detect cycle + 5-hop detour x 2 cycles.
+        assert_eq!(d[0].at, Cycle::new(1 + 10));
+        assert_eq!(noc.recovery_stats().unwrap().reroutes, 1);
+    }
+
+    #[test]
+    fn disabled_recovery_changes_nothing() {
+        let run = |recover: bool| {
+            let mut noc = MeshNoc::contended(MeshShape::new(4, 1));
+            noc.install_faults("link:*@0-40=off".parse().unwrap());
+            if recover {
+                noc.install_recovery(RecoveryPolicy::default());
+            }
+            noc.submit(Cycle::ZERO, msg(1, 0, 3));
+            drain(&mut noc)[0].at
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 use crate::message::{Delivery, Message};
 use crate::topology::Links;
 use crate::{Interconnect, NocStats};
-use nocstar_faults::{DiagSnapshot, FaultPlan, FaultStats, LinkState, PendingMessage};
+use nocstar_faults::{
+    DiagSnapshot, FaultPlan, FaultStats, LinkState, PendingMessage, RecoveryPolicy, RecoveryStats,
+};
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::{Coord, MeshShape};
 use std::collections::{BTreeSet, BinaryHeap};
@@ -25,6 +27,9 @@ struct Flight {
     injected: bool,
     stalled: bool,
     fault_attempts: u64,
+    // First cycle an outage blocked this flit (recovery's detect time);
+    // cleared once a detour departs.
+    blocked_at: Option<Cycle>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +82,8 @@ pub struct SmartNoc {
     stats: NocStats,
     faults: FaultPlan,
     fstats: FaultStats,
+    recovery: RecoveryPolicy,
+    rstats: RecoveryStats,
 }
 
 impl SmartNoc {
@@ -97,6 +104,8 @@ impl SmartNoc {
             seq: 0,
             faults: FaultPlan::default(),
             fstats: FaultStats::default(),
+            recovery: RecoveryPolicy::default(),
+            rstats: RecoveryStats::default(),
         }
     }
 
@@ -167,23 +176,65 @@ impl SmartNoc {
                 (run, to_claim, penalty, first_outaged)
             };
             if run == 0 && first_outaged {
-                // Blocked by an injected outage, not by traffic: back off
-                // deterministically, and once the retry budget is spent
-                // escape over the buffered service path so the flit is
-                // never lost.
-                let max = self.faults.retry.max_attempts;
-                let f = &mut self.flights[i];
-                f.fault_attempts += 1;
-                f.stalled = true;
+                // Blocked by an injected outage, not by traffic: with a
+                // re-routing policy, detour around the dead link; else
+                // back off deterministically, and once the (possibly
+                // escalation-clamped) retry budget is spent escape over
+                // the buffered service path so the flit is never lost.
+                {
+                    let f = &mut self.flights[i];
+                    f.fault_attempts += 1;
+                    f.stalled = true;
+                    if f.blocked_at.is_none() {
+                        f.blocked_at = Some(cycle);
+                    }
+                }
                 self.stats.retries += 1;
                 self.fstats.link_blocked += 1;
-                if max.is_some_and(|m| f.fault_attempts >= u64::from(m)) {
+                if self.recovery.reroute {
+                    let (pos, cur, dst, old_remaining) = {
+                        let f = &self.flights[i];
+                        let last = f.tiles[f.tiles.len() - 1];
+                        (f.pos, f.tiles[f.pos], last, f.tiles.len() - 1 - f.pos)
+                    };
+                    let detour = self
+                        .links
+                        .detour(cur, dst, |l| self.faults.link_outage(l.index(), now));
+                    if let Some(path) = detour {
+                        self.rstats.reroutes += 1;
+                        self.rstats.detour_extra_hops +=
+                            (path.len() - 1).saturating_sub(old_remaining) as u64;
+                        let f = &mut self.flights[i];
+                        f.tiles.truncate(pos + 1);
+                        f.tiles.extend(path.into_iter().skip(1));
+                        // Picking the detour costs one decision cycle.
+                        f.ready_at = cycle + Cycles::ONE;
+                        if let Some(b) = f.blocked_at.take() {
+                            self.rstats
+                                .detect_to_reroute
+                                .record((f.ready_at - b).value());
+                        }
+                        continue;
+                    }
+                    self.rstats.reroute_failed += 1;
+                }
+                let max = self.recovery.effective_max_attempts(self.faults.retry);
+                let f = &mut self.flights[i];
+                if max.is_some_and(|m| f.fault_attempts >= m) {
                     let remaining = (f.tiles.len() - 1 - f.pos) as u64;
                     let arrival = cycle + Cycles::new(2 * remaining + 1);
                     let (msg, submitted_at, attempts) = (f.msg, f.submitted_at, f.fault_attempts);
                     done.push(i);
                     self.fstats.fallbacks += 1;
                     self.fstats.retries_per_fallback.record(attempts);
+                    if self
+                        .faults
+                        .retry
+                        .max_attempts
+                        .is_none_or(|pm| attempts < u64::from(pm))
+                    {
+                        self.rstats.escalations += 1;
+                    }
                     self.schedule(msg, arrival, submitted_at, true);
                 } else {
                     let wait = self.faults.backoff(f.fault_attempts, f.msg.id);
@@ -244,6 +295,7 @@ impl Interconnect for SmartNoc {
             injected: false,
             stalled: false,
             fault_attempts: 0,
+            blocked_at: None,
         });
     }
 
@@ -287,6 +339,7 @@ impl Interconnect for SmartNoc {
     fn reset_stats(&mut self) {
         self.stats.reset();
         self.fstats.reset();
+        self.rstats.reset();
     }
 
     fn install_faults(&mut self, plan: FaultPlan) {
@@ -295,6 +348,14 @@ impl Interconnect for SmartNoc {
 
     fn fault_stats(&self) -> Option<&FaultStats> {
         Some(&self.fstats)
+    }
+
+    fn install_recovery(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+    }
+
+    fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        Some(&self.rstats)
     }
 
     fn diagnostics(&self, cycle: Cycle) -> DiagSnapshot {
@@ -361,6 +422,43 @@ mod tests {
         noc.submit(Cycle::ZERO, msg(1, 0, 3));
         let d = drain(&mut noc);
         assert_eq!(d.len(), 1, "escape path must deliver the flit");
+        assert_eq!(noc.fault_stats().unwrap().fallbacks, 1);
+    }
+
+    #[test]
+    fn reroute_detours_around_a_partial_outage() {
+        // 4x4 mesh, first east link dead: the flit detours through the
+        // next row instead of backing off.
+        let mut noc = SmartNoc::new(MeshShape::new(4, 4), 8);
+        noc.install_faults("link:0@0-1000000=off".parse().unwrap());
+        noc.install_recovery("reroute".parse().unwrap());
+        noc.submit(Cycle::ZERO, msg(1, 0, 3));
+        let d = drain(&mut noc);
+        assert_eq!(d.len(), 1);
+        let rs = noc.recovery_stats().unwrap();
+        assert_eq!(rs.reroutes, 1);
+        assert_eq!(rs.detour_extra_hops, 2);
+        assert_eq!(noc.fault_stats().unwrap().fallbacks, 0);
+        // Setup (1) + blocked detect (1) + 5-hop bypass run (1).
+        assert_eq!(d[0].at, Cycle::new(3));
+    }
+
+    #[test]
+    fn escalation_escapes_faster_than_the_plan_budget() {
+        let shape = MeshShape::new(4, 1);
+        let open = {
+            let mut noc = SmartNoc::new(shape, 8);
+            noc.install_faults("link:*@0-1000000=off".parse().unwrap());
+            noc.submit(Cycle::ZERO, msg(1, 0, 3));
+            drain(&mut noc)[0].at
+        };
+        let mut noc = SmartNoc::new(shape, 8);
+        noc.install_faults("link:*@0-1000000=off".parse().unwrap());
+        noc.install_recovery(RecoveryPolicy::all());
+        noc.submit(Cycle::ZERO, msg(1, 0, 3));
+        let closed = drain(&mut noc)[0].at;
+        assert!(closed < open, "{closed:?} vs {open:?}");
+        assert_eq!(noc.recovery_stats().unwrap().escalations, 1);
         assert_eq!(noc.fault_stats().unwrap().fallbacks, 1);
     }
 

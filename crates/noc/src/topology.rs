@@ -5,6 +5,7 @@
 //! (arbiters, busy-until times, per-cycle claims) lives in flat vectors.
 
 use nocstar_types::{Coord, CoreId, MeshShape};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// A dense identifier for one directed mesh link.
@@ -85,6 +86,67 @@ impl Links {
         LinkId(id)
     }
 
+    /// A shortest usable detour from `from` to `dst`: a breadth-first
+    /// search over tiles that never crosses a link for which `blocked`
+    /// returns true. Neighbours are explored in a fixed east, west,
+    /// south, north order, so ties break deterministically — the same
+    /// blocked set always yields the same detour. Returns the inclusive
+    /// tile path (`from` first, `dst` last), or `None` when the blocked
+    /// links disconnect the pair.
+    ///
+    /// This is the recovery re-router's path oracle: `blocked` is "link
+    /// in outage at this cycle", and the static XY route is restored
+    /// implicitly because healthy paths are themselves shortest.
+    pub fn detour(
+        &self,
+        from: Coord,
+        dst: Coord,
+        blocked: impl Fn(LinkId) -> bool,
+    ) -> Option<Vec<Coord>> {
+        if from == dst {
+            return Some(vec![from]);
+        }
+        let (c, r) = (self.mesh.cols(), self.mesh.rows());
+        let mut parent: BTreeMap<Coord, Coord> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        parent.insert(from, from);
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            let mut neighbours = [None; 4];
+            if cur.x + 1 < c {
+                neighbours[0] = Some(Coord::new(cur.x + 1, cur.y));
+            }
+            if cur.x > 0 {
+                neighbours[1] = Some(Coord::new(cur.x - 1, cur.y));
+            }
+            if cur.y + 1 < r {
+                neighbours[2] = Some(Coord::new(cur.x, cur.y + 1));
+            }
+            if cur.y > 0 {
+                neighbours[3] = Some(Coord::new(cur.x, cur.y - 1));
+            }
+            for next in neighbours.into_iter().flatten() {
+                if parent.contains_key(&next) || blocked(self.link_between(cur, next)) {
+                    continue;
+                }
+                parent.insert(next, cur);
+                if next == dst {
+                    let mut path = vec![next];
+                    let mut at = cur;
+                    while at != from {
+                        path.push(at);
+                        at = parent[&at];
+                    }
+                    path.push(from);
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+        None
+    }
+
     /// The directed links along the XY route from `src` to `dst`
     /// (empty when `src == dst`).
     pub fn path(&self, src: CoreId, dst: CoreId) -> Vec<LinkId> {
@@ -128,6 +190,40 @@ mod tests {
     fn non_adjacent_tiles_have_no_link() {
         let links = Links::new(MeshShape::new(4, 4));
         links.link_between(Coord::new(0, 0), Coord::new(2, 0));
+    }
+
+    #[test]
+    fn detour_routes_around_a_dead_link() {
+        let links = Links::new(MeshShape::new(4, 4));
+        let from = Coord::new(0, 0);
+        let dst = Coord::new(3, 0);
+        // Healthy mesh: the detour IS the shortest (static) path.
+        let clear = links.detour(from, dst, |_| false).unwrap();
+        assert_eq!(clear.len(), 4);
+        // Kill the first east hop: the detour drops a row and comes back,
+        // exactly two hops longer, and never crosses the dead link.
+        let dead = links.link_between(from, Coord::new(1, 0));
+        let path = links.detour(from, dst, |l| l == dead).unwrap();
+        assert_eq!(path[0], from);
+        assert_eq!(path[path.len() - 1], dst);
+        assert_eq!(path.len(), 6);
+        for pair in path.windows(2) {
+            assert_ne!(links.link_between(pair[0], pair[1]), dead);
+        }
+        // Deterministic: the same blocked set yields the same path.
+        assert_eq!(path, links.detour(from, dst, |l| l == dead).unwrap());
+    }
+
+    #[test]
+    fn detour_reports_disconnection_and_trivial_paths() {
+        let links = Links::new(MeshShape::new(4, 1));
+        let from = Coord::new(0, 0);
+        let dst = Coord::new(3, 0);
+        // A 1-row chain has no alternative: blocking any east link on the
+        // route disconnects the pair.
+        let dead = links.link_between(Coord::new(1, 0), Coord::new(2, 0));
+        assert!(links.detour(from, dst, |l| l == dead).is_none());
+        assert_eq!(links.detour(from, from, |_| true).unwrap(), vec![from]);
     }
 
     proptest! {

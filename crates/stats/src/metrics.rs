@@ -143,6 +143,31 @@ impl Log2Histogram {
         &self.buckets
     }
 
+    /// An approximate `p`-th percentile (`p` in `[0, 100]`), or `None` if
+    /// empty. Walks the buckets to the one holding the rank-`ceil(p/100 ·
+    /// count)` sample and reports that bucket's lower bound, clamped to
+    /// the exact recorded min/max — so p0 is exactly `min()`, p100 is at
+    /// most `max()`, and the answer is always a value the bucketing
+    /// cannot place above the true percentile by more than one power of
+    /// two. Deterministic: a pure fold over the bucket counts.
+    pub fn approx_percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Rank of the percentile sample, 1-based (nearest-rank method).
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (lo, _) = Self::bucket_range(bucket);
+                return Some(lo.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Folds another histogram into this one (bucketwise addition).
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -540,6 +565,25 @@ mod tests {
         assert_eq!(reg.snapshot().counter("c"), Some(0));
         reg.incr(c);
         assert_eq!(reg.snapshot().counter("c"), Some(1));
+    }
+
+    #[test]
+    fn approx_percentiles_walk_buckets_and_clamp_to_extremes() {
+        assert_eq!(Log2Histogram::new().approx_percentile(50.0), None);
+        let mut h = Log2Histogram::new();
+        for v in [3u64, 5, 9, 17, 33, 1000] {
+            h.record(v);
+        }
+        // p0 is exactly the min; p100 never exceeds the max.
+        assert_eq!(h.approx_percentile(0.0), Some(3));
+        assert_eq!(h.approx_percentile(100.0), Some(512)); // bucket floor of 1000
+                                                           // The median's rank-3 sample (9) lives in bucket [8, 16).
+        assert_eq!(h.approx_percentile(50.0), Some(8));
+        // A single-sample histogram answers that sample at every p.
+        let mut one = Log2Histogram::new();
+        one.record(42);
+        assert_eq!(one.approx_percentile(0.0), Some(42));
+        assert_eq!(one.approx_percentile(99.0), Some(42));
     }
 
     fn snap(counters: &[(&str, u64)], gauges: &[(&str, u64)]) -> MetricsSnapshot {

@@ -11,7 +11,9 @@
 #                     suites). Target: a few minutes.
 #   ci.sh --nightly   everything above plus the slow sweeps: chaos
 #                     property suite (including the 1024-core
-#                     cluster-outage run), the 512/1024-core hier-vs-mesh
+#                     cluster-outage run), the 1024-core cascading
+#                     recovery-chaos smoke and the closed-loop
+#                     recovery-latency study, the 512/1024-core hier-vs-mesh
 #                     scale-up claim and smoke, fault-sweep smoke, the
 #                     full golden-report determinism sweep, the full
 #                     domain-parallel sweep (domains 2/4/8 on every
@@ -67,6 +69,15 @@ if [[ "$NIGHTLY" == "1" ]]; then
 
   echo "== nightly: 1024-core hierarchical-fabric chaos (cluster outage) =="
   cargo test -q --test chaos -- --ignored
+
+  echo "== nightly: recovery-chaos smoke (1024-core cascading schedule) =="
+  # The test itself asserts a non-empty recovered-translation count and
+  # 8-domain byte-identity; release mode keeps the smoke under a minute.
+  cargo test -q --release --test chaos \
+    nightly_cascading_recovery_storm_at_1024_cores -- --ignored
+
+  echo "== nightly: recovery-latency study =="
+  cargo run --release -q -p nocstar-bench --bin recovery -- --quick
 
   echo "== nightly: scale-up claim (hier vs flat mesh at 512/1024 cores) =="
   cargo test -q --release --test paper_claims claim_hier_beats_flat_mesh_at_scale -- --ignored

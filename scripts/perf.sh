@@ -4,7 +4,9 @@
 # interconnect fabrics at 1 vs 8 simulation domains and writes
 # bench_results/BENCH_parallel.json with wall-clock times and committed
 # accesses per second; the hierarchical-fabric rows are additionally
-# split out into bench_results/BENCH_hier.json (DESIGN.md §13). The
+# split out into bench_results/BENCH_hier.json (DESIGN.md §13). It also
+# runs the closed-loop recovery-latency study and publishes it as
+# bench_results/BENCH_recovery.json (DESIGN.md §14). The
 # perf binary interleaves repetitions across the domain counts, so host
 # noise (VM steal, frequency drift) hits both configurations equally
 # and the reported minima are comparable.
@@ -122,3 +124,38 @@ print(f"perf gate: OK (8-domain speedup {mesh['speedup']} on the 256-core mesh)"
 EOF
   fi
 fi
+
+echo "== closed-loop recovery-latency study =="
+if [[ "$QUICK" == "1" ]]; then
+  cargo run --release -q -p nocstar-bench --bin recovery -- --quick >/dev/null
+else
+  cargo run --release -q -p nocstar-bench --bin recovery >/dev/null
+fi
+OUT_RECOVERY=bench_results/BENCH_recovery.json
+OUT="$OUT_RECOVERY" python3 - bench_results/recovery.csv <<'EOF'
+import csv, json, os, sys
+
+with open(sys.argv[1]) as f:
+    rows = list(csv.DictReader(f))
+doc = {
+    "generated_by": "scripts/perf.sh",
+    "results": rows,
+}
+# Headline: the worst (smallest) latency saving across the standard
+# outage scenarios — the closed loop must never lose to the open loop.
+savings = [float(r["latency saved"].rstrip("%")) for r in rows]
+if savings:
+    doc["min_latency_saved_pct"] = min(savings)
+    doc["max_latency_saved_pct"] = max(savings)
+out = os.environ["OUT"]
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+if savings and min(savings) <= 0.0:
+    sys.exit(
+        "recovery gate: FAILED — the closed loop lost to the open loop "
+        f"on at least one scenario (min saving {min(savings)}%)"
+    )
+print(f"recovery gate: OK (savings {min(savings)}% .. {max(savings)}%)")
+EOF

@@ -72,7 +72,7 @@ pub mod prelude {
     pub use nocstar_core::config::{MonolithicNet, SystemConfig, TlbOrg, WalkPolicy};
     pub use nocstar_core::report::SimReport;
     pub use nocstar_core::sim::{SimAbort, Simulation};
-    pub use nocstar_faults::{FaultPlan, SimError};
+    pub use nocstar_faults::{FaultPlan, RecoveryPolicy, SimError};
     pub use nocstar_mem::walker::WalkLatency;
     pub use nocstar_noc::circuit::AcquireMode;
     pub use nocstar_noc::hier::{InterKind, IntraKind};

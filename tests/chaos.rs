@@ -151,6 +151,134 @@ fn whole_cluster_outage_at_scale_is_deterministic_and_lossless() {
 }
 
 #[test]
+fn cascading_slice_outages_with_recovery_are_lossless_and_deterministic() {
+    // A correlated schedule: slice 1 dies and its traffic re-homes to the
+    // next surviving slice; while that window is still open the backup's
+    // own slice dies too (forcing a handoff plus a fresh election), a
+    // shootdown storm rages through the first outage, and a brief chip-
+    // wide link blackout lands in the middle. The closed loop must absorb
+    // all of it: full quota, non-trivial recovery counters, and two runs
+    // serialize byte-for-byte.
+    let spec = "slice:1@1000-40000; slice:2@10000-35000; storm@1000-30000; \
+                link:*@5000-8000=off; retry=6";
+    let run = || {
+        sim(TlbOrg::paper_distributed(), true)
+            .with_faults(spec.parse().expect("spec"))
+            .with_recovery(RecoveryPolicy::all())
+            .try_run(ACCESSES)
+            .expect("cascading outage with recovery must terminate")
+    };
+    let first = run();
+    assert_eq!(
+        first.accesses,
+        CORES as u64 * ACCESSES,
+        "lost translations during the cascading outage"
+    );
+    assert!(
+        first
+            .metrics
+            .counter("recovery.rehome_activations")
+            .is_some_and(|v| v >= 2),
+        "the cascade must open at least two re-homing windows"
+    );
+    assert!(
+        first
+            .metrics
+            .counter("recovery.translations_recovered")
+            .is_some_and(|v| v > 0),
+        "no translation was served from a backup slice"
+    );
+    assert_eq!(
+        first.to_json().to_string(),
+        run().to_json().to_string(),
+        "nondeterministic cascading-recovery run"
+    );
+}
+
+#[test]
+fn rolling_cluster_failures_at_scale_recover_without_livelock() {
+    // Three 16-tile clusters of a 512-core hierarchical chip fail in an
+    // overlapping rolling wave. Displaced traffic re-homes across cluster
+    // boundaries (same set residue, next surviving cluster) and homes
+    // back as each wave passes; the run must finish the full quota with
+    // translations actually served from backups along the way.
+    const BIG: usize = 512;
+    const QUOTA: u64 = 100;
+    let spec = "cluster:1/16@0-3000; cluster:2/16@2000-6000; \
+                cluster:3/16@5000-9000; retry=6";
+    let mut config = SystemConfig::new(BIG, TlbOrg::paper_hier(16));
+    config.metrics = true;
+    let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+    let report = Simulation::new(config, workload)
+        .with_faults(spec.parse().expect("spec"))
+        .with_recovery(RecoveryPolicy::all())
+        .try_run(QUOTA)
+        .expect("rolling cluster failures with recovery must terminate");
+    assert_eq!(
+        report.accesses,
+        BIG as u64 * QUOTA,
+        "lost translations during the rolling cluster wave"
+    );
+    assert!(
+        report
+            .metrics
+            .counter("recovery.translations_recovered")
+            .is_some_and(|v| v > 0),
+        "no translation was recovered across the wave"
+    );
+    assert!(
+        report
+            .metrics
+            .counter("recovery.rehome_homebacks")
+            .is_some_and(|v| v > 0),
+        "no re-homing window ever closed"
+    );
+}
+
+#[test]
+#[ignore = "nightly: 1024-core cascading-recovery chaos (ci.sh --nightly)"]
+fn nightly_cascading_recovery_storm_at_1024_cores() {
+    // The full stack at scale: a rolling two-cluster failure wave with an
+    // outage-triggered shootdown storm on a 1024-core hierarchical chip,
+    // closed-loop recovery on, replayed over the 8-way domain-parallel
+    // driver. Must finish losslessly with a non-empty recovered count and
+    // serialize byte-identically to the sequential run.
+    const BIG: usize = 1024;
+    const QUOTA: u64 = 120;
+    let spec = "cluster:3/16@0-4000; cluster:7/16@3000-8000; \
+                storm@0-4000; retry=6";
+    let run = |domains: usize| {
+        let mut config = SystemConfig::new(BIG, TlbOrg::paper_hier(16));
+        config.metrics = true;
+        config.parallel_domains = domains;
+        let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+        Simulation::new(config, workload)
+            .with_faults(spec.parse().expect("spec"))
+            .with_recovery(RecoveryPolicy::all())
+            .try_run(QUOTA)
+            .expect("cascading chaos at 1024 cores must terminate")
+    };
+    let sequential = run(1);
+    assert_eq!(
+        sequential.accesses,
+        BIG as u64 * QUOTA,
+        "lost translations during the 1024-core cascade"
+    );
+    assert!(
+        sequential
+            .metrics
+            .counter("recovery.translations_recovered")
+            .is_some_and(|v| v > 0),
+        "the closed loop never recovered a translation at scale"
+    );
+    assert_eq!(
+        sequential.to_json().to_string(),
+        run(8).to_json().to_string(),
+        "8-domain cascading-recovery run diverged from sequential"
+    );
+}
+
+#[test]
 fn hier_overlay_outage_terminates_via_escape_paths() {
     // A chip-wide overlay outage under the hierarchical fabric: intra-
     // cluster traffic is untouched, and cross-cluster messages (shootdown

@@ -121,6 +121,64 @@ fn domain_sweep_is_byte_identical_to_sequential() {
     }
 }
 
+/// A chaos plan exercising every recovery mechanism at once: a link
+/// outage (re-routing / escalation), a slice-offline window (re-homing,
+/// and gateway failover on the hierarchical fabric), and a walk spike.
+const RECOVERY_PLAN: &str = "link:*@2000-5000=off; slice:3@1000-20000; walk@2000-4000=x4";
+
+fn recovery_report_json(org: TlbOrg, domains: usize) -> String {
+    let mut config = SystemConfig::new(CORES, org);
+    config.metrics = true;
+    config.parallel_domains = domains;
+    let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+    Simulation::new(config, workload)
+        .with_faults(FaultPlan::parse(RECOVERY_PLAN).expect("valid plan"))
+        .with_recovery(RecoveryPolicy::all())
+        .run_measured(WARMUP, MEASURE)
+        .to_json()
+        .to_string()
+}
+
+#[test]
+fn recovery_enabled_runs_are_byte_identical_across_repeats() {
+    for org in fabric_orgs() {
+        assert_eq!(
+            recovery_report_json(org, 1),
+            recovery_report_json(org, 1),
+            "nondeterministic recovery report for {}",
+            org.label()
+        );
+    }
+}
+
+#[test]
+fn recovery_two_domain_runs_are_byte_identical_to_sequential() {
+    for org in fabric_orgs() {
+        assert_eq!(
+            recovery_report_json(org, 1),
+            recovery_report_json(org, 2),
+            "2-domain recovery run diverged for {}",
+            org.label()
+        );
+    }
+}
+
+#[test]
+#[ignore = "nightly: recovery domain sweep over every fabric"]
+fn recovery_domain_sweep_is_byte_identical_to_sequential() {
+    for org in fabric_orgs() {
+        let sequential = recovery_report_json(org, 1);
+        for domains in [2, 4, 8] {
+            assert_eq!(
+                sequential,
+                recovery_report_json(org, domains),
+                "{domains}-domain recovery run diverged for {}",
+                org.label()
+            );
+        }
+    }
+}
+
 #[test]
 fn metrics_and_tracing_do_not_change_simulated_time() {
     for org in all_orgs() {

@@ -93,3 +93,44 @@ fn golden_hier() {
     // all three hierarchical legs (intra-source, overlay, intra-dest).
     check_golden("hier", TlbOrg::paper_hier(2));
 }
+
+#[test]
+fn golden_recovery() {
+    // A faulted distributed run under the full recovery policy: pins the
+    // recovery.* metric names, the detect→recovered percentiles, and the
+    // exact closed-loop timing. The plan keeps one slice offline across
+    // the measurement window and kills every link briefly, so re-homing,
+    // re-routing/escalation, and the handoff path all leave fingerprints.
+    let org = TlbOrg::paper_distributed();
+    let mut config = SystemConfig::new(CORES, org);
+    config.metrics = true;
+    config.trace_capacity = 32;
+    let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+    let plan = FaultPlan::parse("link:*@26000-27500=off; slice:1@24000-40000").expect("valid plan");
+    let report = Simulation::new(config, workload)
+        .with_faults(plan)
+        .with_recovery(RecoveryPolicy::all())
+        .run_measured(WARMUP, MEASURE);
+    let mut actual = report.to_json().to_string_pretty();
+    actual.push('\n');
+    let path = golden_dir().join("recovery.json");
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v != "0") {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, &actual).expect("write golden snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run UPDATE_GOLDEN=1 \
+             cargo test --test golden_reports to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "recovery report drifted from {}; if intentional, regenerate \
+         with UPDATE_GOLDEN=1 cargo test --test golden_reports",
+        path.display()
+    );
+}
