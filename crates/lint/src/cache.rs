@@ -1,0 +1,302 @@
+//! Incremental lint cache.
+//!
+//! Linting is per-file and pure — the findings for a file depend only on
+//! (file content, rule implementations, policy). The cache exploits that:
+//! `target/lint/cache.json` stores per-file findings keyed by a content
+//! hash, under a header binding the whole cache to the rules version
+//! ([`crate::rules::RULES_VERSION`] plus the rule-id list) and a hash of
+//! the policy text. A content touch re-lints exactly the changed file; a
+//! rules or policy change discards the cache wholesale and re-lints
+//! everything. CI's fast gate runs the linter twice and asserts the warm
+//! pass re-analyzes zero files on an unchanged tree.
+//!
+//! The cache is a plain `nocstar-json` document — readable in a CI
+//! artifact viewer, and byte-identical for identical inputs like every
+//! other report this workspace emits.
+
+use crate::policy::Severity;
+use crate::Finding;
+use nocstar_json::Json;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit: tiny, dependency-free, and stable across platforms —
+/// exactly what a content key needs (this is not a security boundary).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cached results for one file at one content hash.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// FNV-1a of the file's bytes when it was linted.
+    pub content_hash: u64,
+    /// Unsuppressed findings, as reported.
+    pub findings: Vec<Finding>,
+    /// Justified-suppression findings.
+    pub suppressed: Vec<Finding>,
+}
+
+/// The on-disk cache: a header binding it to (rules version, policy
+/// hash) plus one entry per workspace-relative file path.
+#[derive(Debug, Default)]
+pub struct Cache {
+    /// Rules fingerprint the entries were produced under.
+    pub rules_key: String,
+    /// FNV-1a of the policy file text.
+    pub policy_hash: u64,
+    /// Workspace-relative path → entry.
+    pub entries: BTreeMap<String, CacheEntry>,
+    /// True when entries were usable at load time (header matched).
+    warm: bool,
+}
+
+/// The rules fingerprint: version string plus the ordered rule-id list,
+/// so adding/removing/renaming a rule invalidates the cache even without
+/// a version bump.
+pub fn rules_key() -> String {
+    format!(
+        "{}:{}",
+        crate::rules::RULES_VERSION,
+        crate::rules::rule_ids().join(",")
+    )
+}
+
+impl Cache {
+    /// An empty cache bound to the given policy hash.
+    pub fn empty(policy_hash: u64) -> Cache {
+        Cache {
+            rules_key: rules_key(),
+            policy_hash,
+            entries: BTreeMap::new(),
+            warm: false,
+        }
+    }
+
+    /// Loads the cache at `path`. A missing, unparsable, or mismatched
+    /// cache (different rules fingerprint or policy hash) degrades to an
+    /// empty cache — stale results must never be served.
+    pub fn load(path: &Path, policy_hash: u64) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Cache::empty(policy_hash);
+        };
+        let Ok(json) = Json::parse(&text) else {
+            return Cache::empty(policy_hash);
+        };
+        let header_ok = json
+            .get("rules_key")
+            .and_then(Json::as_str)
+            .is_some_and(|k| k == rules_key())
+            && json
+                .get("policy_hash")
+                .and_then(Json::as_str)
+                .and_then(|s| s.parse::<u64>().ok())
+                .is_some_and(|h| h == policy_hash);
+        if !header_ok {
+            return Cache::empty(policy_hash);
+        }
+        let mut entries = BTreeMap::new();
+        if let Some(files) = json.get("files").and_then(Json::as_array) {
+            for f in files {
+                let Some(path) = f.get("path").and_then(Json::as_str) else {
+                    continue;
+                };
+                let Some(hash) = f
+                    .get("content_hash")
+                    .and_then(Json::as_str)
+                    .and_then(|s| s.parse::<u64>().ok())
+                else {
+                    continue;
+                };
+                let findings = f
+                    .get("findings")
+                    .and_then(Json::as_array)
+                    .map(|a| a.iter().filter_map(finding_from_json).collect())
+                    .unwrap_or_default();
+                let suppressed = f
+                    .get("suppressed")
+                    .and_then(Json::as_array)
+                    .map(|a| a.iter().filter_map(finding_from_json).collect())
+                    .unwrap_or_default();
+                entries.insert(
+                    path.to_string(),
+                    CacheEntry {
+                        content_hash: hash,
+                        findings,
+                        suppressed,
+                    },
+                );
+            }
+        }
+        Cache {
+            rules_key: rules_key(),
+            policy_hash,
+            entries,
+            warm: true,
+        }
+    }
+
+    /// True when the cache was loaded with a matching header (i.e. hits
+    /// are possible at all).
+    pub fn is_warm(&self) -> bool {
+        self.warm
+    }
+
+    /// The cached entry for `rel_path` iff its content hash matches.
+    pub fn lookup(&self, rel_path: &str, content_hash: u64) -> Option<&CacheEntry> {
+        self.entries
+            .get(rel_path)
+            .filter(|e| e.content_hash == content_hash)
+    }
+
+    /// Records fresh results for a file.
+    pub fn insert(
+        &mut self,
+        rel_path: &str,
+        content_hash: u64,
+        findings: Vec<Finding>,
+        suppressed: Vec<Finding>,
+    ) {
+        self.entries.insert(
+            rel_path.to_string(),
+            CacheEntry {
+                content_hash,
+                findings,
+                suppressed,
+            },
+        );
+    }
+
+    /// Serializes and writes the cache to `path` (creating parent
+    /// directories).
+    ///
+    /// # Errors
+    ///
+    /// An error string naming the unwritable path.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        let files: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|(path, e)| {
+                Json::obj(vec![
+                    ("path", Json::str(path)),
+                    ("content_hash", Json::str(e.content_hash.to_string())),
+                    (
+                        "findings",
+                        Json::Arr(e.findings.iter().map(finding_to_json).collect()),
+                    ),
+                    (
+                        "suppressed",
+                        Json::Arr(e.suppressed.iter().map(finding_to_json).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("tool", Json::str("nocstar-lint-cache")),
+            ("rules_key", Json::str(&self.rules_key)),
+            ("policy_hash", Json::str(self.policy_hash.to_string())),
+            ("files", Json::Arr(files)),
+        ]);
+        std::fs::write(path, doc.to_string_pretty())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+fn finding_to_json(f: &Finding) -> Json {
+    Json::obj(vec![
+        ("rule", Json::str(&f.rule)),
+        ("severity", Json::str(f.severity.name())),
+        ("path", Json::str(f.path.to_string_lossy())),
+        ("line", Json::U64(u64::from(f.line))),
+        ("message", Json::str(&f.message)),
+        ("hint", Json::str(&f.hint)),
+    ])
+}
+
+fn finding_from_json(j: &Json) -> Option<Finding> {
+    Some(Finding {
+        rule: j.get("rule")?.as_str()?.to_string(),
+        severity: Severity::parse(j.get("severity")?.as_str()?)?,
+        path: PathBuf::from(j.get("path")?.as_str()?),
+        line: u32::try_from(j.get("line")?.as_u64()?).ok()?,
+        message: j.get("message")?.as_str()?.to_string(),
+        hint: j.get("hint")?.as_str()?.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_finding() -> Finding {
+        Finding {
+            rule: "sim-unwrap".into(),
+            severity: Severity::Error,
+            path: PathBuf::from("crates/x/src/a.rs"),
+            line: 7,
+            message: "panics".into(),
+            hint: "don't".into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("nocstar-lint-cache-{}", std::process::id()));
+        let path = dir.join("cache.json");
+        let mut c = Cache::empty(42);
+        c.insert("crates/x/src/a.rs", 99, vec![sample_finding()], vec![]);
+        c.save(&path).expect("saves");
+        let back = Cache::load(&path, 42);
+        assert!(back.is_warm());
+        let e = back.lookup("crates/x/src/a.rs", 99).expect("hit");
+        assert_eq!(e.findings.len(), 1);
+        assert_eq!(e.findings[0].rule, "sim-unwrap");
+        assert_eq!(e.findings[0].severity, Severity::Error);
+        assert!(
+            back.lookup("crates/x/src/a.rs", 100).is_none(),
+            "stale hash"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_policy_hash_discards_entries() {
+        let dir = std::env::temp_dir().join(format!("nocstar-lint-cache2-{}", std::process::id()));
+        let path = dir.join("cache.json");
+        let mut c = Cache::empty(1);
+        c.insert("f.rs", 5, vec![], vec![]);
+        c.save(&path).expect("saves");
+        let other = Cache::load(&path, 2);
+        assert!(!other.is_warm());
+        assert!(other.entries.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_or_garbage_cache_degrades() {
+        let c = Cache::load(Path::new("/nonexistent/cache.json"), 1);
+        assert!(!c.is_warm());
+        let dir = std::env::temp_dir().join(format!("nocstar-lint-cache3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("cache.json");
+        std::fs::write(&path, "not json").expect("write");
+        assert!(!Cache::load(&path, 1).is_warm());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

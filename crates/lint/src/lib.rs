@@ -8,28 +8,42 @@
 //! (no panicking extraction in sim code, no in-place event-timestamp
 //! mutation) at analysis time.
 //!
-//! The environment vendors no `syn`, so the analyzer is token-level: a
-//! small Rust lexer ([`lexer`]) feeds rule visitors ([`rules`]) that
-//! match identifier/punctuation sequences, with `#[cfg(test)]` regions,
-//! string/char literals and comments excluded soundly. Rules are
+//! The environment vendors no `syn`, so the analyzer builds its own
+//! stack: a small Rust lexer ([`lexer`]) feeds an AST-lite
+//! recursive-descent parser ([`parser`]) covering the subset the repo
+//! uses (items, `use` paths, `impl` blocks, fn signatures, typed `let`
+//! bindings, struct/enum fields), a per-file scope table ([`scope`])
+//! that chases import renames and `type` aliases to resolve collection
+//! and cell types, and a forward dataflow-lite pass ([`taint`]) that
+//! propagates nondeterministic taint through `let` chains into
+//! event-time and `SimReport` sinks. Rule visitors ([`rules`]) combine
+//! token patterns with these resolved views; `#[cfg(test)]` regions,
+//! string/char literals and comments are excluded soundly. Rules are
 //! configured per crate *class* (deterministic sim crates vs. bench/
 //! tools) by a TOML policy file ([`policy`], `nocstar-lint.toml` at the
 //! workspace root). Findings can be suppressed inline with
 //! `// nocstar-lint: allow(<rule>): <justification>` — the justification
-//! is mandatory and its absence is itself a build-failing finding.
+//! is mandatory, its absence is itself a build-failing finding, and a
+//! suppression whose rules ran but matched nothing is *stale* and fails
+//! the build too. Workspace runs are incremental via [`cache`].
 //!
 //! Run it as `cargo run -p nocstar-lint`; see `--help` for output
-//! formats (human, JSON, SARIF) and CI wiring.
+//! formats (human, JSON, SARIF), cache control, and CI wiring.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod lexer;
 pub mod output;
+pub mod parser;
 pub mod policy;
 pub mod rules;
+pub mod scope;
 pub mod source;
+pub mod taint;
 
+use cache::Cache;
 use policy::{Policy, Severity};
 use rules::INVALID_SUPPRESSION;
 use source::SourceFile;
@@ -62,6 +76,10 @@ pub struct Report {
     pub suppressed: Vec<Finding>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Number of files actually analyzed this run (the rest were served
+    /// from the incremental cache). Equals `files_scanned` on uncached
+    /// runs.
+    pub files_reanalyzed: usize,
 }
 
 impl Report {
@@ -78,6 +96,7 @@ impl Report {
         self.findings.extend(other.findings);
         self.suppressed.extend(other.suppressed);
         self.files_scanned += other.files_scanned;
+        self.files_reanalyzed += other.files_reanalyzed;
     }
 
     /// Canonical ordering for deterministic output.
@@ -94,10 +113,13 @@ pub fn lint_source(rel_path: &Path, class: &str, text: &str, policy: &Policy) ->
     let file = SourceFile::analyze(rel_path.to_path_buf(), class, text);
     let mut report = Report {
         files_scanned: 1,
+        files_reanalyzed: 1,
         ..Report::default()
     };
     let rel = rel_path.to_string_lossy();
-    for rule in rules::registry() {
+    let registry = rules::registry();
+    let mut used_suppressions = std::collections::BTreeSet::new();
+    for rule in &registry {
         let severity = policy.severity(class, rule.id());
         if severity == Severity::Allow || policy.exempted(&rel, rule.id()) {
             continue;
@@ -116,7 +138,8 @@ pub fn lint_source(rel_path: &Path, class: &str, text: &str, policy: &Policy) ->
                 message: r.message,
                 hint: rule.fix_hint().to_string(),
             };
-            if file.suppressed(rule.id(), r.line) {
+            if let Some(idx) = file.suppression_index(rule.id(), r.line) {
+                used_suppressions.insert(idx);
                 report.suppressed.push(finding);
             } else {
                 report.findings.push(finding);
@@ -126,24 +149,96 @@ pub fn lint_source(rel_path: &Path, class: &str, text: &str, policy: &Policy) ->
     // Malformed suppressions are always errors, in every class, and are
     // themselves unsuppressable.
     for (line, why) in &file.bad_suppressions {
-        report.findings.push(Finding {
-            rule: INVALID_SUPPRESSION.to_string(),
-            severity: Severity::Error,
-            path: rel_path.to_path_buf(),
-            line: *line,
-            message: why.clone(),
-            hint: "every suppression must carry a non-empty justification".to_string(),
+        report
+            .findings
+            .push(invalid_suppression(rel_path, *line, why.clone()));
+    }
+    // Stale / nonsense suppressions. A well-formed suppression that names
+    // an unknown rule (or the meta rule itself) is malformed; one whose
+    // rules all *ran* on its covered lines yet silenced nothing is stale
+    // — the code it excused was fixed, so the comment must go too.
+    for (idx, s) in file.suppressions.iter().enumerate() {
+        let mut problems: Vec<String> = Vec::new();
+        for rid in &s.rules {
+            if rid == INVALID_SUPPRESSION {
+                problems.push(format!("`{rid}` cannot be suppressed"));
+            } else if !registry.iter().any(|r| r.id() == rid) {
+                problems.push(format!("unknown rule `{rid}`"));
+            }
+        }
+        if !problems.is_empty() {
+            report.findings.push(invalid_suppression(
+                rel_path,
+                s.line,
+                format!("suppression names {}", problems.join(", ")),
+            ));
+            continue;
+        }
+        if used_suppressions.contains(&idx) {
+            continue;
+        }
+        let covered_in_test = file.in_test_code(s.covers.0) || file.in_test_code(s.covers.1);
+        let all_ran = s.rules.iter().all(|rid| {
+            let rule = registry
+                .iter()
+                .find(|r| r.id() == rid)
+                .expect("unknown rules handled above");
+            policy.severity(class, rid) != Severity::Allow
+                && !policy.exempted(&rel, rid)
+                && !(rule.exempts_test_code() && covered_in_test)
         });
+        if all_ran {
+            report.findings.push(invalid_suppression(
+                rel_path,
+                s.line,
+                format!(
+                    "stale suppression: `allow({})` matched no finding on the lines it \
+                     covers — delete the comment",
+                    s.rules.join(", ")
+                ),
+            ));
+        }
     }
     report
 }
 
-/// Lints every `src/` tree the policy classifies, rooted at `root`.
+fn invalid_suppression(rel_path: &Path, line: u32, message: String) -> Finding {
+    Finding {
+        rule: INVALID_SUPPRESSION.to_string(),
+        severity: Severity::Error,
+        path: rel_path.to_path_buf(),
+        line,
+        message,
+        hint: "every suppression must carry a non-empty justification and silence \
+               at least one live finding"
+            .to_string(),
+    }
+}
+
+/// Lints every `src/` tree the policy classifies, rooted at `root`,
+/// without a cache (every file is analyzed).
 ///
 /// # Errors
 ///
 /// An error string naming the first unreadable directory or file.
 pub fn lint_workspace(root: &Path, policy: &Policy) -> Result<Report, String> {
+    lint_workspace_cached(root, policy, None)
+}
+
+/// Lints every `src/` tree the policy classifies, rooted at `root`,
+/// serving unchanged files from `cache` when one is supplied. Fresh
+/// results are inserted into the cache; the caller persists it (see
+/// [`Cache::save`]). Files whose content hash hits the cache count
+/// toward `files_scanned` but not `files_reanalyzed`.
+///
+/// # Errors
+///
+/// An error string naming the first unreadable directory or file.
+pub fn lint_workspace_cached(
+    root: &Path,
+    policy: &Policy,
+    mut cache: Option<&mut Cache>,
+) -> Result<Report, String> {
     let mut report = Report::default();
     for (dir, class) in &policy.crates {
         let src = root.join(dir).join("src");
@@ -160,7 +255,27 @@ pub fn lint_workspace(root: &Path, policy: &Policy) -> Result<Report, String> {
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
             let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-            report.merge(lint_source(&rel, class, &text, policy));
+            let rel_str = rel.to_string_lossy().to_string();
+            let hash = cache::fnv1a(text.as_bytes());
+            if let Some(entry) = cache.as_deref().and_then(|c| c.lookup(&rel_str, hash)) {
+                report.merge(Report {
+                    findings: entry.findings.clone(),
+                    suppressed: entry.suppressed.clone(),
+                    files_scanned: 1,
+                    files_reanalyzed: 0,
+                });
+                continue;
+            }
+            let file_report = lint_source(&rel, class, &text, policy);
+            if let Some(c) = cache.as_deref_mut() {
+                c.insert(
+                    &rel_str,
+                    hash,
+                    file_report.findings.clone(),
+                    file_report.suppressed.clone(),
+                );
+            }
+            report.merge(file_report);
         }
     }
     report.sort();

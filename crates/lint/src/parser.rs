@@ -1,0 +1,1164 @@
+//! AST-lite recursive-descent parser over the token stream.
+//!
+//! The environment still vendors no `syn`, so this is not a full Rust
+//! grammar: it recognizes exactly the subset the repo's rules need to
+//! reason about types and flow — items (`use`, `type`, `struct`, `enum`,
+//! `fn`, `impl`, `mod`, `trait`), `use` paths with renames and groups,
+//! fn signatures, `let` bindings with declared or constructor-inferred
+//! types, struct/enum fields, and `for` loops. Generic parameters are
+//! parsed but treated as opaque; expression bodies stay token soup with
+//! `let`/`for` statements lifted out.
+//!
+//! The parser must never panic and must always make progress on
+//! malformed input: a file mid-edit degrades to a smaller AST, not an
+//! error. Anything unrecognized is skipped one token at a time.
+
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// A parsed type: a path plus generic arguments. References, lifetimes,
+/// `dyn`/`impl` and `mut` are stripped; tuples, arrays/slices, and fn
+/// pointers get synthetic path names (`(tuple)`, `(array)`, `(fn)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Type {
+    /// Path segments (`std::collections::HashMap` → 3 segments).
+    pub segments: Vec<String>,
+    /// Generic arguments, recursively parsed; lifetimes and const
+    /// generics are dropped.
+    pub args: Vec<Type>,
+}
+
+impl Type {
+    /// A type with a single path segment and no arguments.
+    pub fn simple(name: &str) -> Type {
+        Type {
+            segments: vec![name.to_string()],
+            args: Vec::new(),
+        }
+    }
+
+    /// The final path segment — the name resolution starts from.
+    pub fn name(&self) -> &str {
+        self.segments.last().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// One named field of a struct (or enum variant payload).
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name; tuple/variant payloads get positional names (`0`).
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// 1-based line of the field declaration.
+    pub line: u32,
+}
+
+/// A `let` binding inside a fn body.
+#[derive(Debug, Clone)]
+pub struct LetBinding {
+    /// Bound name (simple-identifier patterns only; destructurings are
+    /// not recorded).
+    pub name: String,
+    /// Declared type, when written.
+    pub ty: Option<Type>,
+    /// Token index range `[start, end)` of the initializer expression.
+    pub init: Option<(usize, usize)>,
+    /// 1-based line of the `let`.
+    pub line: u32,
+}
+
+/// A `for` loop inside a fn body.
+#[derive(Debug, Clone)]
+pub struct ForLoop {
+    /// Loop binding when it is a simple identifier.
+    pub binding: Option<String>,
+    /// Token index range of the iterated expression.
+    pub iter: (usize, usize),
+    /// Token index range of the loop body (inside the braces).
+    pub body: (usize, usize),
+    /// 1-based line of the `for`.
+    pub line: u32,
+}
+
+/// A parsed fn with its signature and lifted body statements.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Fn name.
+    pub name: String,
+    /// The `impl` target type name when this fn is a method.
+    pub self_ty: Option<String>,
+    /// `(name, type)` per parameter; opaque patterns get name `_`.
+    pub params: Vec<(String, Type)>,
+    /// Return type, when written.
+    pub ret: Option<Type>,
+    /// Token index range `[start, end)` of the body (inside the braces).
+    pub body: (usize, usize),
+    /// `let` bindings, in source order (later bindings shadow earlier).
+    pub lets: Vec<LetBinding>,
+    /// `for` loops, in source order (outer loops listed before inner).
+    pub fors: Vec<ForLoop>,
+    /// 1-based line of the `fn`.
+    pub line: u32,
+}
+
+/// The per-file AST-lite: symbol tables plus parsed fns.
+#[derive(Debug, Default)]
+pub struct Ast {
+    /// Imported local name → (full path segments, declaration line).
+    /// `use std::collections::HashMap as Map` maps `Map` → the path.
+    pub imports: BTreeMap<String, (Vec<String>, u32)>,
+    /// `type Name = T;` aliases: name → (target type, declaration line).
+    pub aliases: BTreeMap<String, (Type, u32)>,
+    /// Struct/enum name → fields (enum variant payloads flattened in).
+    pub structs: BTreeMap<String, Vec<Field>>,
+    /// Every fn in the file, including impl/trait methods.
+    pub fns: Vec<FnDef>,
+}
+
+/// Keywords that can precede `[`/identifiers without forming the
+/// expression contexts the rules care about.
+pub const KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+/// True when `word` is a Rust keyword (per [`KEYWORDS`]).
+pub fn is_keyword(word: &str) -> bool {
+    KEYWORDS.contains(&word)
+}
+
+/// Parses one file's token stream into an [`Ast`].
+pub fn parse(toks: &[Tok]) -> Ast {
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        ast: Ast::default(),
+    };
+    p.items(toks.len(), None);
+    p.ast
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    ast: Ast,
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        self.tok(self.pos).is_some_and(|t| t.is_ident(word))
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.tok(self.pos).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn line(&self) -> u32 {
+        self.tok(self.pos).map_or(0, |t| t.line)
+    }
+
+    /// Consumes tokens to the matching close of the bracket at `self.pos`
+    /// (which must be an open bracket) and returns the index just past
+    /// the close. Tracks all three bracket kinds.
+    fn skip_balanced(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.tok(self.pos) {
+            match t.kind {
+                TokKind::Punct('{' | '(' | '[') => depth += 1,
+                TokKind::Punct('}' | ')' | ']') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Skips a balanced `<…>` generic list starting at `<`.
+    fn skip_generics(&mut self) {
+        if !self.at_punct('<') {
+            return;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.tok(self.pos) {
+            match t.kind {
+                TokKind::Punct('<') => depth += 1,
+                TokKind::Punct('>') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                }
+                // A stray `;` or `{` at depth 1+ means the source was not
+                // really generics; bail rather than consume the file.
+                TokKind::Punct('{' | ';') => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Skips one attribute `#[…]` / `#![…]` starting at `#`.
+    fn skip_attr(&mut self) {
+        self.pos += 1; // '#'
+        if self.at_punct('!') {
+            self.pos += 1;
+        }
+        if self.at_punct('[') {
+            self.skip_balanced();
+        }
+    }
+
+    /// Parses items until `end` (a token index, exclusive).
+    fn items(&mut self, end: usize, self_ty: Option<&str>) {
+        while self.pos < end {
+            if self.at_punct('#') {
+                self.skip_attr();
+                continue;
+            }
+            let Some(t) = self.tok(self.pos) else { break };
+            if t.kind != TokKind::Ident {
+                self.pos += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "pub" => {
+                    self.pos += 1;
+                    if self.at_punct('(') {
+                        self.skip_balanced(); // pub(crate) / pub(super)
+                    }
+                }
+                "use" => self.parse_use(),
+                "type" => self.parse_type_alias(),
+                "struct" => self.parse_struct(),
+                "enum" => self.parse_enum(),
+                "fn" => self.parse_fn(self_ty),
+                "impl" => self.parse_impl(end),
+                "mod" | "trait" => self.parse_mod_or_trait(end, self_ty),
+                "unsafe" | "async" | "default" | "extern" | "const" | "static" => {
+                    // Qualifiers before fn, or const/static items; the
+                    // next loop turn sees the real keyword. `extern "C"`
+                    // string literals and const/static initializers are
+                    // skipped by the generic fallthrough.
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// `use path::{a, b as c, nested::*};` — registers every leaf name.
+    fn parse_use(&mut self) {
+        let line = self.line();
+        self.pos += 1; // `use`
+        self.parse_use_tree(Vec::new(), line);
+        if self.at_punct(';') {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_use_tree(&mut self, prefix: Vec<String>, line: u32) {
+        let mut path = prefix;
+        loop {
+            if self.at_punct('{') {
+                self.pos += 1;
+                loop {
+                    if self.at_punct('}') {
+                        self.pos += 1;
+                        return;
+                    }
+                    if self.pos >= self.toks.len() {
+                        return;
+                    }
+                    self.parse_use_tree(path.clone(), line);
+                    if self.at_punct(',') {
+                        self.pos += 1;
+                    } else if !self.at_punct('}') {
+                        // Malformed; bail without looping forever.
+                        self.pos += 1;
+                    }
+                }
+            }
+            if self.at_punct('*') {
+                self.pos += 1; // glob: nothing to register
+                return;
+            }
+            let Some(t) = self.tok(self.pos) else { return };
+            if t.kind != TokKind::Ident {
+                return;
+            }
+            let seg = t.text.clone();
+            self.pos += 1;
+            path.push(seg);
+            if self.at_punct(':') && self.tok(self.pos + 1).is_some_and(|t| t.is_punct(':')) {
+                self.pos += 2;
+                continue;
+            }
+            // Rename: `… ::Target as Name` registers `Name` against the
+            // path ending in the *target*, which is what resolution
+            // chases.
+            if self.at_ident("as") {
+                self.pos += 1;
+                let name = self
+                    .tok(self.pos)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+                if let Some(name) = name {
+                    self.ast.imports.insert(name, (path, line));
+                    self.pos += 1;
+                }
+                return;
+            }
+            // End of this tree branch: register the leaf under its own
+            // name. `use a::b::{self}` registers the parent name `b`.
+            if path.last().is_some_and(|s| s == "self") {
+                path.pop();
+            }
+            if let Some(leaf) = path.last().cloned() {
+                self.ast.imports.insert(leaf, (path, line));
+            }
+            return;
+        }
+    }
+
+    /// `type Name<…> = T;`
+    fn parse_type_alias(&mut self) {
+        let line = self.line();
+        self.pos += 1; // `type`
+        let Some(name) = self.tok(self.pos).filter(|t| t.kind == TokKind::Ident) else {
+            return;
+        };
+        let name = name.text.clone();
+        self.pos += 1;
+        self.skip_generics();
+        if !self.at_punct('=') {
+            // Associated type declaration (`type Out;`) or bound list.
+            return;
+        }
+        self.pos += 1;
+        let ty = self.parse_type();
+        self.ast.aliases.insert(name, (ty, line));
+        if self.at_punct(';') {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_struct(&mut self) {
+        self.pos += 1; // `struct`
+        let Some(name) = self.tok(self.pos).filter(|t| t.kind == TokKind::Ident) else {
+            return;
+        };
+        let name = name.text.clone();
+        self.pos += 1;
+        self.skip_generics();
+        self.skip_where_clause();
+        let mut fields = Vec::new();
+        if self.at_punct('{') {
+            self.pos += 1;
+            self.parse_named_fields(&mut fields, '}');
+        } else if self.at_punct('(') {
+            self.pos += 1;
+            self.parse_tuple_fields(&mut fields, "");
+        }
+        self.ast.structs.insert(name, fields);
+    }
+
+    fn parse_enum(&mut self) {
+        self.pos += 1; // `enum`
+        let Some(name) = self.tok(self.pos).filter(|t| t.kind == TokKind::Ident) else {
+            return;
+        };
+        let name = name.text.clone();
+        self.pos += 1;
+        self.skip_generics();
+        self.skip_where_clause();
+        let mut fields = Vec::new();
+        if self.at_punct('{') {
+            self.pos += 1;
+            while self.pos < self.toks.len() && !self.at_punct('}') {
+                if self.at_punct('#') {
+                    self.skip_attr();
+                    continue;
+                }
+                let Some(v) = self.tok(self.pos).filter(|t| t.kind == TokKind::Ident) else {
+                    self.pos += 1;
+                    continue;
+                };
+                let variant = v.text.clone();
+                self.pos += 1;
+                if self.at_punct('(') {
+                    self.pos += 1;
+                    self.parse_tuple_fields(&mut fields, &variant);
+                } else if self.at_punct('{') {
+                    self.pos += 1;
+                    self.parse_named_fields(&mut fields, '}');
+                } else if self.at_punct('=') {
+                    // Discriminant: skip to `,` or `}` at depth 0.
+                    self.skip_to_comma_or('}');
+                }
+                if self.at_punct(',') {
+                    self.pos += 1;
+                }
+            }
+            if self.at_punct('}') {
+                self.pos += 1;
+            }
+        }
+        self.ast.structs.insert(name, fields);
+    }
+
+    /// Named fields until the closing brace: `[pub] name: Type,`*
+    fn parse_named_fields(&mut self, out: &mut Vec<Field>, close: char) {
+        while self.pos < self.toks.len() && !self.at_punct(close) {
+            if self.at_punct('#') {
+                self.skip_attr();
+                continue;
+            }
+            if self.at_ident("pub") {
+                self.pos += 1;
+                if self.at_punct('(') {
+                    self.skip_balanced();
+                }
+                continue;
+            }
+            let Some(t) = self.tok(self.pos).filter(|t| t.kind == TokKind::Ident) else {
+                self.pos += 1;
+                continue;
+            };
+            let (fname, fline) = (t.text.clone(), t.line);
+            self.pos += 1;
+            if !self.at_punct(':') {
+                continue;
+            }
+            self.pos += 1;
+            let ty = self.parse_type();
+            out.push(Field {
+                name: fname,
+                ty,
+                line: fline,
+            });
+            if self.at_punct(',') {
+                self.pos += 1;
+            }
+        }
+        if self.at_punct(close) {
+            self.pos += 1;
+        }
+    }
+
+    /// Tuple fields until the closing paren; names are `prefix.N` (or
+    /// plain `N` for tuple structs).
+    fn parse_tuple_fields(&mut self, out: &mut Vec<Field>, prefix: &str) {
+        let mut idx = 0usize;
+        while self.pos < self.toks.len() && !self.at_punct(')') {
+            if self.at_punct('#') {
+                self.skip_attr();
+                continue;
+            }
+            if self.at_ident("pub") {
+                self.pos += 1;
+                if self.at_punct('(') {
+                    self.skip_balanced();
+                }
+                continue;
+            }
+            let line = self.line();
+            let ty = self.parse_type();
+            let name = if prefix.is_empty() {
+                idx.to_string()
+            } else {
+                format!("{prefix}.{idx}")
+            };
+            out.push(Field { name, ty, line });
+            idx += 1;
+            if self.at_punct(',') {
+                self.pos += 1;
+            } else if !self.at_punct(')') {
+                self.pos += 1; // malformed: keep moving
+            }
+        }
+        if self.at_punct(')') {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_where_clause(&mut self) {
+        if self.at_ident("where") {
+            while self.pos < self.toks.len() && !self.at_punct('{') && !self.at_punct(';') {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// `impl<…> Type {…}` or `impl<…> Trait for Type {…}`.
+    fn parse_impl(&mut self, end: usize) {
+        self.pos += 1; // `impl`
+        self.skip_generics();
+        let first = self.parse_type();
+        let target = if self.at_ident("for") {
+            self.pos += 1;
+            self.parse_type()
+        } else {
+            first
+        };
+        self.skip_where_clause();
+        if !self.at_punct('{') {
+            return;
+        }
+        let body_end = self.matching_brace(end);
+        self.pos += 1; // '{'
+        let name = target.name().to_string();
+        self.items(body_end, Some(&name));
+        self.pos = (body_end + 1).min(end);
+    }
+
+    fn parse_mod_or_trait(&mut self, end: usize, self_ty: Option<&str>) {
+        self.pos += 1; // `mod` / `trait`
+        if let Some(t) = self.tok(self.pos).filter(|t| t.kind == TokKind::Ident) {
+            let _ = t;
+            self.pos += 1;
+        }
+        self.skip_generics();
+        // Supertrait bounds: skip to `{` or `;`.
+        while self.pos < end && !self.at_punct('{') && !self.at_punct(';') {
+            self.pos += 1;
+        }
+        if self.at_punct(';') {
+            self.pos += 1;
+            return;
+        }
+        if self.at_punct('{') {
+            let body_end = self.matching_brace(end);
+            self.pos += 1;
+            self.items(body_end, self_ty);
+            self.pos = (body_end + 1).min(end);
+        }
+    }
+
+    /// Index of the `}` matching the `{` at `self.pos`, bounded by `end`.
+    fn matching_brace(&self, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = self.pos;
+        while i < end {
+            match self.toks[i].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end.saturating_sub(1).max(self.pos)
+    }
+
+    fn parse_fn(&mut self, self_ty: Option<&str>) {
+        let line = self.line();
+        self.pos += 1; // `fn`
+        let Some(name) = self.tok(self.pos).filter(|t| t.kind == TokKind::Ident) else {
+            return;
+        };
+        let name = name.text.clone();
+        self.pos += 1;
+        self.skip_generics();
+        let mut params = Vec::new();
+        if self.at_punct('(') {
+            let params_end = {
+                let saved = self.pos;
+                self.skip_balanced();
+                let e = self.pos;
+                self.pos = saved;
+                e
+            };
+            self.pos += 1; // '('
+            self.parse_params(&mut params, params_end.saturating_sub(1));
+            self.pos = params_end;
+        }
+        let ret = if self.at_punct('-') && self.tok(self.pos + 1).is_some_and(|t| t.is_punct('>')) {
+            self.pos += 2;
+            Some(self.parse_type())
+        } else {
+            None
+        };
+        self.skip_where_clause();
+        if self.at_punct(';') {
+            self.pos += 1; // trait method declaration, no body
+            return;
+        }
+        if !self.at_punct('{') {
+            return;
+        }
+        let body_end = self.matching_brace(self.toks.len());
+        let body = (self.pos + 1, body_end);
+        self.pos = (body_end + 1).min(self.toks.len());
+        let (lets, fors) = scan_body(self.toks, body);
+        self.ast.fns.push(FnDef {
+            name,
+            self_ty: self_ty.map(str::to_string),
+            params,
+            ret,
+            body,
+            lets,
+            fors,
+            line,
+        });
+    }
+
+    /// Parses fn parameters between the parens (`end` is the index of the
+    /// closing paren).
+    fn parse_params(&mut self, out: &mut Vec<(String, Type)>, end: usize) {
+        while self.pos < end {
+            if self.at_punct('#') {
+                self.skip_attr();
+                continue;
+            }
+            // Receiver: `self`, `&self`, `&mut self`, `mut self`, with
+            // optional lifetime — skip to the comma.
+            let start = self.pos;
+            let mut is_receiver = false;
+            let mut j = self.pos;
+            while j < end && j < start + 4 {
+                let t = &self.toks[j];
+                if t.is_ident("self") {
+                    is_receiver =
+                        self.toks.get(j + 1).is_none_or(|n| !n.is_punct(':')) || j + 1 >= end;
+                    break;
+                }
+                if t.is_punct('&') || t.is_ident("mut") || t.kind == TokKind::Lifetime {
+                    j += 1;
+                    continue;
+                }
+                break;
+            }
+            if is_receiver {
+                self.skip_to_param_end(end);
+                continue;
+            }
+            // Pattern: take a simple identifier name, else `_`.
+            let mut pname = "_".to_string();
+            if self.at_ident("mut") {
+                self.pos += 1;
+            }
+            if let Some(t) = self.tok(self.pos).filter(|t| t.kind == TokKind::Ident) {
+                if !is_keyword(&t.text) {
+                    pname = t.text.clone();
+                    self.pos += 1;
+                }
+            }
+            if self.at_punct(':') {
+                self.pos += 1;
+                let ty = self.parse_type();
+                out.push((pname, ty));
+            }
+            self.skip_to_param_end(end);
+        }
+    }
+
+    /// Advances past the next top-level `,` (or to `end`).
+    fn skip_to_param_end(&mut self, end: usize) {
+        let mut depth = 0i32;
+        while self.pos < end {
+            match self.toks[self.pos].kind {
+                TokKind::Punct('(' | '[' | '{' | '<') => depth += 1,
+                TokKind::Punct(')' | ']' | '}' | '>') => depth -= 1,
+                TokKind::Punct(',') if depth <= 0 => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Skips to the next `,` or `stop` char at depth 0.
+    fn skip_to_comma_or(&mut self, stop: char) {
+        let mut depth = 0i32;
+        while self.pos < self.toks.len() {
+            match self.toks[self.pos].kind {
+                TokKind::Punct('(' | '[' | '{') => depth += 1,
+                TokKind::Punct(')' | ']' | '}') => {
+                    if depth == 0 && self.toks[self.pos].is_punct(stop) {
+                        return;
+                    }
+                    depth -= 1;
+                }
+                TokKind::Punct(',') if depth == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parses a type at the current position. Never fails; unknown
+    /// constructs produce an opaque type and consume at least one token.
+    fn parse_type(&mut self) -> Type {
+        // Strip prefixes that don't change the resolved name.
+        loop {
+            if self.at_punct('&') || self.at_punct('*') {
+                self.pos += 1;
+                continue;
+            }
+            if self
+                .tok(self.pos)
+                .is_some_and(|t| t.kind == TokKind::Lifetime)
+            {
+                self.pos += 1;
+                continue;
+            }
+            if self.at_ident("mut")
+                || self.at_ident("dyn")
+                || self.at_ident("impl")
+                || self.at_ident("const")
+            {
+                self.pos += 1;
+                continue;
+            }
+            break;
+        }
+        if self.at_punct('(') {
+            // Tuple or parenthesized type.
+            self.pos += 1;
+            let mut args = Vec::new();
+            let mut saw_comma = false;
+            while self.pos < self.toks.len() && !self.at_punct(')') {
+                args.push(self.parse_type());
+                if self.at_punct(',') {
+                    saw_comma = true;
+                    self.pos += 1;
+                } else if !self.at_punct(')') {
+                    self.pos += 1; // defensive progress
+                }
+            }
+            if self.at_punct(')') {
+                self.pos += 1;
+            }
+            if !saw_comma && args.len() == 1 {
+                return args
+                    .into_iter()
+                    .next()
+                    .unwrap_or_else(|| Type::simple("(unknown)"));
+            }
+            return Type {
+                segments: vec!["(tuple)".to_string()],
+                args,
+            };
+        }
+        if self.at_punct('[') {
+            // Slice `[T]` or array `[T; N]`.
+            self.pos += 1;
+            let inner = self.parse_type();
+            while self.pos < self.toks.len() && !self.at_punct(']') {
+                self.pos += 1; // `; N` length expression
+            }
+            if self.at_punct(']') {
+                self.pos += 1;
+            }
+            return Type {
+                segments: vec!["(array)".to_string()],
+                args: vec![inner],
+            };
+        }
+        if self.at_punct('<') {
+            // Qualified path `<T as Trait>::Out`: opaque.
+            self.skip_generics();
+            while self.at_punct(':') {
+                self.pos += 1;
+            }
+            // Consume the trailing segment path.
+            while self.tok(self.pos).is_some_and(|t| t.kind == TokKind::Ident) {
+                self.pos += 1;
+                if self.at_punct(':') && self.tok(self.pos + 1).is_some_and(|t| t.is_punct(':')) {
+                    self.pos += 2;
+                } else {
+                    break;
+                }
+            }
+            return Type::simple("(qualified)");
+        }
+        if self.at_ident("fn")
+            || self.at_ident("Fn")
+            || self.at_ident("FnMut")
+            || self.at_ident("FnOnce")
+        {
+            self.pos += 1;
+            if self.at_punct('(') {
+                self.skip_balanced();
+            }
+            if self.at_punct('-') && self.tok(self.pos + 1).is_some_and(|t| t.is_punct('>')) {
+                self.pos += 2;
+                let _ = self.parse_type();
+            }
+            return Type::simple("(fn)");
+        }
+        // Path type: segments separated by `::`, optional generics.
+        let mut segments = Vec::new();
+        let mut args = Vec::new();
+        while let Some(t) = self.tok(self.pos).filter(|t| t.kind == TokKind::Ident) {
+            if is_keyword(&t.text)
+                && !matches!(t.text.as_str(), "self" | "Self" | "crate" | "super")
+            {
+                break;
+            }
+            segments.push(t.text.clone());
+            self.pos += 1;
+            if self.at_punct('<') {
+                args = self.parse_generic_args();
+                // `Map<K, V>::new` style paths keep going after generics.
+            }
+            if self.at_punct(':') && self.tok(self.pos + 1).is_some_and(|t| t.is_punct(':')) {
+                self.pos += 2;
+                continue;
+            }
+            break;
+        }
+        if segments.is_empty() {
+            // Defensive progress on anything unrecognized.
+            self.pos += 1;
+            return Type::simple("(unknown)");
+        }
+        Type { segments, args }
+    }
+
+    /// Parses `<T, U, 'a, N, Item = V>` starting at `<`; returns the
+    /// recursively parsed type arguments (lifetimes/consts dropped).
+    fn parse_generic_args(&mut self) -> Vec<Type> {
+        let close = {
+            let saved = self.pos;
+            self.skip_generics();
+            let e = self.pos;
+            self.pos = saved;
+            e
+        };
+        self.pos += 1; // '<'
+        let mut args = Vec::new();
+        while self.pos + 1 < close {
+            if self
+                .tok(self.pos)
+                .is_some_and(|t| t.kind == TokKind::Lifetime)
+            {
+                self.pos += 1;
+            } else if self.tok(self.pos).is_some_and(|t| t.kind == TokKind::Num)
+                || self.at_punct('{')
+            {
+                // Const generic argument: skip it.
+                if self.at_punct('{') {
+                    self.skip_balanced();
+                } else {
+                    self.pos += 1;
+                }
+            } else if self.tok(self.pos).is_some_and(|t| t.kind == TokKind::Ident)
+                && self.tok(self.pos + 1).is_some_and(|t| t.is_punct('='))
+                && !self.tok(self.pos + 2).is_some_and(|t| t.is_punct('='))
+            {
+                // Associated binding `Item = T`.
+                self.pos += 2;
+                args.push(self.parse_type());
+            } else {
+                let before = self.pos;
+                args.push(self.parse_type());
+                if self.pos == before {
+                    self.pos += 1; // guarantee progress
+                }
+            }
+            if self.at_punct(',')
+                || self.at_punct('+')
+                || (self.pos + 1 < close && !self.at_punct('>'))
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.pos = close;
+        args
+    }
+}
+
+/// Scans a fn body token range for `let` bindings and `for` loops.
+/// The scan is flat: nested blocks and closures contribute their `let`s
+/// to the same (per-fn) table, which over-approximates scope but keeps
+/// shadowing order correct for forward dataflow.
+fn scan_body(toks: &[Tok], body: (usize, usize)) -> (Vec<LetBinding>, Vec<ForLoop>) {
+    let (start, end) = body;
+    let mut lets = Vec::new();
+    let mut fors = Vec::new();
+    let mut i = start;
+    while i < end.min(toks.len()) {
+        let t = &toks[i];
+        if t.is_ident("let") {
+            // `if let` / `while let` have pattern semantics, not binding
+            // statements; skip them.
+            let after_kw = i > 0 && (toks[i - 1].is_ident("if") || toks[i - 1].is_ident("while"));
+            if after_kw {
+                i += 1;
+                continue;
+            }
+            let line = t.line;
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name_tok) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                i += 1;
+                continue;
+            };
+            if is_keyword(&name_tok.text) {
+                i += 1;
+                continue;
+            }
+            let name = name_tok.text.clone();
+            j += 1;
+            let mut ty = None;
+            if toks.get(j).is_some_and(|t| t.is_punct(':')) {
+                let mut p = Parser {
+                    toks,
+                    pos: j + 1,
+                    ast: Ast::default(),
+                };
+                ty = Some(p.parse_type());
+                j = p.pos;
+            }
+            let mut init = None;
+            if toks.get(j).is_some_and(|t| t.is_punct('='))
+                && !toks.get(j + 1).is_some_and(|t| t.is_punct('='))
+            {
+                let init_start = j + 1;
+                let init_end = stmt_end(toks, init_start, end);
+                init = Some((init_start, init_end));
+                j = init_end;
+            }
+            lets.push(LetBinding {
+                name,
+                ty,
+                init,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if t.is_ident("for") && !toks.get(i + 1).is_some_and(|t| t.is_punct('<')) {
+            let line = t.line;
+            let binding = toks
+                .get(i + 1)
+                .filter(|t| t.kind == TokKind::Ident && !is_keyword(&t.text))
+                .filter(|_| toks.get(i + 2).is_some_and(|t| t.is_ident("in")))
+                .map(|t| t.text.clone());
+            // Find `in` at depth 0 (tuple patterns contain parens).
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            let mut in_at = None;
+            while j < end {
+                match toks[j].kind {
+                    TokKind::Punct('(' | '[') => depth += 1,
+                    TokKind::Punct(')' | ']') => depth -= 1,
+                    TokKind::Punct('{' | ';') => break,
+                    TokKind::Ident if depth == 0 && toks[j].is_ident("in") => {
+                        in_at = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(in_at) = in_at else {
+                i += 1;
+                continue;
+            };
+            // Iterated expression runs to the loop's opening brace at
+            // depth 0 (struct literals can't appear bare in `for` heads).
+            let mut k = in_at + 1;
+            let mut depth = 0i32;
+            while k < end {
+                match toks[k].kind {
+                    TokKind::Punct('(' | '[') => depth += 1,
+                    TokKind::Punct(')' | ']') => depth -= 1,
+                    TokKind::Punct('{') if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if k >= end {
+                i = in_at + 1;
+                continue;
+            }
+            // Loop body: matching brace from k.
+            let mut depth = 0i32;
+            let mut b = k;
+            while b < end {
+                match toks[b].kind {
+                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                b += 1;
+            }
+            fors.push(ForLoop {
+                binding,
+                iter: (in_at + 1, k),
+                body: (k + 1, b.min(end)),
+                line,
+            });
+            i = k + 1; // descend into the body (nested loops still seen)
+            continue;
+        }
+        i += 1;
+    }
+    (lets, fors)
+}
+
+/// Index just past the end of a statement starting at `start`: the
+/// position of the `;` that closes it at bracket depth 0, or `end`.
+fn stmt_end(toks: &[Tok], start: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < end.min(toks.len()) {
+        match toks[i].kind {
+            TokKind::Punct('(' | '[' | '{') => depth += 1,
+            TokKind::Punct(')' | ']' | '}') => {
+                if depth == 0 {
+                    return i; // closing an outer block: statement ended
+                }
+                depth -= 1;
+            }
+            TokKind::Punct(';') if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ast(src: &str) -> Ast {
+        parse(&lex(src).toks)
+    }
+
+    #[test]
+    fn use_paths_with_groups_and_renames() {
+        let a = ast("use std::collections::{HashMap as Map, hash_map::Entry};\nuse crate::x::Y;");
+        assert_eq!(
+            a.imports["Map"].0,
+            vec!["std", "collections", "HashMap"],
+            "{:?}",
+            a.imports
+        );
+        assert_eq!(
+            a.imports["Entry"].0.last().map(String::as_str),
+            Some("Entry")
+        );
+        assert_eq!(a.imports["Y"].0, vec!["crate", "x", "Y"]);
+    }
+
+    #[test]
+    fn type_alias_and_struct_fields() {
+        let a = ast("type Cache = std::collections::HashMap<u64, u64>;\n\
+             struct S { pub m: Cache, n: BTreeMap<u64, u64> }\n\
+             struct T(u64, Cache);");
+        assert_eq!(a.aliases["Cache"].0.name(), "HashMap");
+        let s = &a.structs["S"];
+        assert_eq!(s[0].name, "m");
+        assert_eq!(s[0].ty.name(), "Cache");
+        assert_eq!(s[1].ty.name(), "BTreeMap");
+        assert_eq!(s[1].ty.args.len(), 2);
+        assert_eq!(a.structs["T"][1].ty.name(), "Cache");
+    }
+
+    #[test]
+    fn enum_variant_payloads_are_fields() {
+        let a = ast("enum E { A, B(u64, Cache), C { inner: RefCell<u8> } }");
+        let fields = &a.structs["E"];
+        assert!(fields.iter().any(|f| f.ty.name() == "Cache"));
+        assert!(fields.iter().any(|f| f.ty.name() == "RefCell"));
+    }
+
+    #[test]
+    fn fn_signature_params_and_ret() {
+        let a = ast("fn f(a: u64, mut b: &Vec<f64>, (x, y): (u8, u8)) -> f64 { a as f64 }");
+        let f = &a.fns[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params[0], ("a".to_string(), Type::simple("u64")));
+        assert_eq!(f.params[1].0, "b");
+        assert_eq!(f.params[1].1.name(), "Vec");
+        assert_eq!(f.ret.as_ref().map(Type::name), Some("f64"));
+    }
+
+    #[test]
+    fn impl_methods_carry_self_type() {
+        let a = ast("impl<T> Wrapper<T> { fn get(&self) -> u64 { 1 } }\n\
+             impl Display for Thing { fn fmt(&self) {} }");
+        assert_eq!(a.fns[0].self_ty.as_deref(), Some("Wrapper"));
+        assert_eq!(a.fns[1].self_ty.as_deref(), Some("Thing"));
+    }
+
+    #[test]
+    fn lets_with_types_and_inits() {
+        let a = ast(
+            "fn f() {\n  let x: f64 = 0.0;\n  let mut m = HashMap::new();\n  \
+             let (a, b) = pair();\n  if let Some(v) = opt {}\n}",
+        );
+        let lets = &a.fns[0].lets;
+        assert_eq!(lets.len(), 2, "{lets:?}");
+        assert_eq!(lets[0].name, "x");
+        assert_eq!(lets[0].ty.as_ref().map(Type::name), Some("f64"));
+        assert_eq!(lets[1].name, "m");
+        assert!(lets[1].init.is_some());
+    }
+
+    #[test]
+    fn for_loops_record_binding_iter_and_body() {
+        let a = ast("fn f(v: Vec<u64>) { for x in v.iter() { let y = x; } }");
+        let fors = &a.fns[0].fors;
+        assert_eq!(fors.len(), 1);
+        assert_eq!(fors[0].binding.as_deref(), Some("x"));
+        assert!(fors[0].iter.0 < fors[0].iter.1);
+        assert!(fors[0].body.0 < fors[0].body.1);
+    }
+
+    #[test]
+    fn nested_mods_share_the_file_table() {
+        let a = ast("mod inner { use std::collections::HashMap as M; fn g() {} }");
+        assert!(a.imports.contains_key("M"));
+        assert_eq!(a.fns[0].name, "g");
+    }
+
+    #[test]
+    fn malformed_input_degrades_without_panicking() {
+        for src in [
+            "struct",
+            "fn f(",
+            "impl {",
+            "use ::::;",
+            "type = ;",
+            "enum E { A(",
+            "fn f() { let",
+            "for x in {",
+        ] {
+            let _ = ast(src); // must not panic or hang
+        }
+    }
+}

@@ -2,6 +2,7 @@
 
 use super::{RawFinding, Rule};
 use crate::lexer::TokKind;
+use crate::scope::{Scope, TypeClass};
 use crate::source::SourceFile;
 
 /// Interior-mutability wrappers that are not `Sync`: state behind one of
@@ -11,11 +12,15 @@ use crate::source::SourceFile;
 /// deliberately not listed — the shared page tables use them on purpose.
 const UNSYNC_CELLS: &[&str] = &["RefCell", "Cell", "UnsafeCell", "OnceCell", "LazyCell"];
 
-/// Flags `RefCell`/`Cell`/`UnsafeCell`/`OnceCell`/`LazyCell` and
+/// Flags `RefCell`/`Cell`/`UnsafeCell`/`OnceCell`/`LazyCell` — spelled
+/// directly or reached through an import rename or `type` alias — and
 /// `static mut` in sim crates. Simulation state crosses threads under the
 /// domain-parallel driver; non-`Sync` interior mutability either fails to
 /// compile there or (via `static mut`/raw access) silently races, and
 /// both read as shared-mutability designs the simulator must not grow.
+/// The resolution pass mirrors [`super::UnorderedIteration`]: local names
+/// resolving to an unsync cell are flagged at every use, with the
+/// introducing declaration line left to the direct-spelling pass.
 pub struct SharedMutParallel;
 
 impl Rule for SharedMutParallel {
@@ -24,8 +29,9 @@ impl Rule for SharedMutParallel {
     }
 
     fn description(&self) -> &'static str {
-        "single-thread interior mutability (RefCell/Cell/static mut) in simulator \
-         state: invisible to the domain-parallel driver and unsound across threads"
+        "single-thread interior mutability (RefCell/Cell/static mut, or an alias \
+         resolving to one) in simulator state: invisible to the domain-parallel \
+         driver and unsound across threads"
     }
 
     fn fix_hint(&self) -> &'static str {
@@ -54,6 +60,19 @@ impl Rule for SharedMutParallel {
                 }
             }
             prev_static_line = (t.text == "static").then_some(t.line);
+        }
+        let scope = Scope::new(&file.ast);
+        for (name, decl_line, canon) in scope.resolved_names(TypeClass::UnsyncCell) {
+            for t in &file.toks {
+                if t.kind == TokKind::Ident && t.text == name && t.line != decl_line {
+                    out.push(RawFinding {
+                        line: t.line,
+                        message: format!(
+                            "`{name}` resolves to single-thread interior mutability `{canon}`"
+                        ),
+                    });
+                }
+            }
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use super::{RawFinding, Rule};
 use crate::lexer::TokKind;
+use crate::scope::{Scope, TypeClass};
 use crate::source::SourceFile;
 
 /// Names whose presence marks hash-ordered (iteration-order-unstable)
@@ -21,15 +22,23 @@ const HASH_NAMES: &[&str] = &[
 ];
 
 /// Flags every mention of a hash-ordered collection in a deterministic
-/// crate class.
+/// crate class — spelled directly *or* reached through a local rename.
 ///
-/// The analyzer is type-blind, so it cannot prove which individual maps
-/// are iterated; instead the rule enforces the stronger, mechanically
-/// checkable invariant the simulator actually wants: *deterministic sim
-/// crates do not hold hash-ordered collections at all* (outside test
-/// code). A lookup-only `HashMap` is one refactor away from an
-/// order-dependent loop, and `BTreeMap`/`BTreeSet` cost nothing at sim
-/// scale. Genuinely unreachable-by-iteration uses can carry a justified
+/// The rule enforces the stronger, mechanically checkable invariant the
+/// simulator actually wants: *deterministic sim crates do not hold
+/// hash-ordered collections at all* (outside test code). A lookup-only
+/// `HashMap` is one refactor away from an order-dependent loop, and
+/// `BTreeMap`/`BTreeSet` cost nothing at sim scale. Two passes:
+///
+/// 1. the token pass flags direct spellings (`HashMap`, `FxHashSet`, …);
+/// 2. the resolution pass consults the per-file [`Scope`] for import
+///    renames (`use … ::HashMap as Map`) and `type` aliases
+///    (`type Cache = Map<K, V>`) that *resolve* to a hash-ordered type,
+///    and flags every use of those names — struct fields, fn signatures,
+///    and locals included. The introducing declaration line is skipped:
+///    it already carries a token-pass finding for the underlying name.
+///
+/// Genuinely unreachable-by-iteration uses can carry a justified
 /// `nocstar-lint: allow(unordered-iteration)` suppression.
 pub struct UnorderedIteration;
 
@@ -39,8 +48,9 @@ impl Rule for UnorderedIteration {
     }
 
     fn description(&self) -> &'static str {
-        "hash-ordered collection (HashMap/HashSet) in a deterministic sim crate: \
-         iteration order varies run to run and silently breaks byte-identical reports"
+        "hash-ordered collection (HashMap/HashSet, or an alias resolving to one) in a \
+         deterministic sim crate: iteration order varies run to run and silently \
+         breaks byte-identical reports"
     }
 
     fn fix_hint(&self) -> &'static str {
@@ -48,12 +58,25 @@ impl Rule for UnorderedIteration {
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        // Pass 1: direct spellings.
         for t in &file.toks {
             if t.kind == TokKind::Ident && HASH_NAMES.contains(&t.text.as_str()) {
                 out.push(RawFinding {
                     line: t.line,
                     message: format!("`{}` is hash-ordered", t.text),
                 });
+            }
+        }
+        // Pass 2: names that resolve to a hash-ordered type.
+        let scope = Scope::new(&file.ast);
+        for (name, decl_line, canon) in scope.resolved_names(TypeClass::HashOrdered) {
+            for t in &file.toks {
+                if t.kind == TokKind::Ident && t.text == name && t.line != decl_line {
+                    out.push(RawFinding {
+                        line: t.line,
+                        message: format!("`{name}` resolves to hash-ordered `{canon}`"),
+                    });
+                }
             }
         }
     }

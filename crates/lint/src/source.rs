@@ -2,6 +2,7 @@
 //! `#[cfg(test)]` / `#[test]` region map, and suppression comments.
 
 use crate::lexer::{self, Comment, Lexed, Tok};
+use crate::parser::{self, Ast};
 use std::path::PathBuf;
 
 /// A `// nocstar-lint: allow(rule, …): justification` comment.
@@ -27,6 +28,9 @@ pub struct SourceFile {
     pub class: String,
     /// Code tokens.
     pub toks: Vec<Tok>,
+    /// AST-lite view of the token stream (items, fns, struct fields),
+    /// consumed by the type-resolved rules via [`crate::scope::Scope`].
+    pub ast: Ast,
     /// Comments (for rules that inspect them).
     pub comments: Vec<Comment>,
     /// Inclusive line ranges covered by `#[cfg(test)]` items or `#[test]`
@@ -46,12 +50,14 @@ impl SourceFile {
     /// Lexes and analyzes `src`.
     pub fn analyze(path: PathBuf, class: &str, src: &str) -> SourceFile {
         let Lexed { toks, comments } = lexer::lex(src);
+        let ast = parser::parse(&toks);
         let test_regions = find_test_regions(&toks);
         let (suppressions, bad_suppressions) = find_suppressions(&comments, &toks);
         SourceFile {
             path,
             class: class.to_string(),
             toks,
+            ast,
             comments,
             test_regions,
             suppressions,
@@ -68,7 +74,15 @@ impl SourceFile {
 
     /// True when a well-formed suppression for `rule` covers `line`.
     pub fn suppressed(&self, rule: &str, line: u32) -> bool {
-        self.suppressions.iter().any(|s| {
+        self.suppression_index(rule, line).is_some()
+    }
+
+    /// Index (into `suppressions`) of the suppression covering `rule` at
+    /// `line`, if any. The driver uses the index to track which
+    /// suppressions actually silenced something, so stale allows can be
+    /// reported and deleted.
+    pub fn suppression_index(&self, rule: &str, line: u32) -> Option<usize> {
+        self.suppressions.iter().position(|s| {
             (s.covers.0 == line || s.covers.1 == line) && s.rules.iter().any(|r| r == rule)
         })
     }

@@ -1,0 +1,141 @@
+//! Incremental-cache behavior, end to end over a throwaway
+//! mini-workspace: a cold run analyzes everything, a warm run analyzes
+//! nothing (while reporting identical findings), touching one file
+//! re-lints exactly that file, and changing the policy text invalidates
+//! the whole cache.
+
+use nocstar_lint::cache::Cache;
+use nocstar_lint::policy::Policy;
+use nocstar_lint::{lint_workspace_cached, Finding};
+use std::path::{Path, PathBuf};
+
+const POLICY: &str = r#"
+[crates]
+"crates/a" = "sim"
+"crates/b" = "sim"
+
+[rules.sim]
+unordered-iteration = "error"
+sim-unwrap = "error"
+"#;
+
+const FILE_A: &str =
+    "use std::collections::HashMap;\n\npub fn f() -> HashMap<u64, u64> {\n    HashMap::new()\n}\n";
+const FILE_B: &str = "pub fn g(x: Option<u64>) -> u64 {\n    x.unwrap_or(0)\n}\n";
+
+/// Builds the mini-workspace under `target/` and returns its root.
+fn setup(name: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/lint-test-cache")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&root);
+    for (rel, text) in [
+        ("crates/a/src/lib.rs", FILE_A),
+        ("crates/b/src/lib.rs", FILE_B),
+    ] {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, text).unwrap();
+    }
+    root
+}
+
+fn keys(findings: &[Finding]) -> Vec<(String, u32, String)> {
+    findings
+        .iter()
+        .map(|f| (f.path.display().to_string(), f.line, f.rule.clone()))
+        .collect()
+}
+
+#[test]
+fn warm_cache_serves_identical_findings_without_reanalysis() {
+    let root = setup("warm");
+    let cache_path = root.join("target/lint/cache.json");
+    let policy = Policy::parse(POLICY).unwrap();
+
+    let mut cache = Cache::load(&cache_path, policy.source_hash);
+    let cold = lint_workspace_cached(&root, &policy, Some(&mut cache)).unwrap();
+    assert_eq!(cold.files_scanned, 2);
+    assert_eq!(cold.files_reanalyzed, 2, "cold run analyzes everything");
+    let expected: Vec<(String, u32, String)> = [1, 3, 4]
+        .iter()
+        .map(|&l| {
+            (
+                "crates/a/src/lib.rs".into(),
+                l,
+                "unordered-iteration".into(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        keys(&cold.findings),
+        expected,
+        "every HashMap mention in the fixture is a deliberate finding"
+    );
+    cache.save(&cache_path).unwrap();
+
+    let mut cache = Cache::load(&cache_path, policy.source_hash);
+    let warm = lint_workspace_cached(&root, &policy, Some(&mut cache)).unwrap();
+    assert_eq!(warm.files_scanned, 2);
+    assert_eq!(
+        warm.files_reanalyzed, 0,
+        "unchanged tree must be fully cached"
+    );
+    assert_eq!(
+        keys(&warm.findings),
+        keys(&cold.findings),
+        "cached findings must be byte-equivalent to fresh ones"
+    );
+}
+
+#[test]
+fn content_touch_relints_exactly_the_changed_file() {
+    let root = setup("touch");
+    let cache_path = root.join("target/lint/cache.json");
+    let policy = Policy::parse(POLICY).unwrap();
+
+    let mut cache = Cache::load(&cache_path, policy.source_hash);
+    lint_workspace_cached(&root, &policy, Some(&mut cache)).unwrap();
+    cache.save(&cache_path).unwrap();
+
+    // Append a comment: semantically inert, but the content hash moves.
+    let a = root.join("crates/a/src/lib.rs");
+    std::fs::write(&a, format!("{FILE_A}// touched\n")).unwrap();
+
+    let mut cache = Cache::load(&cache_path, policy.source_hash);
+    let report = lint_workspace_cached(&root, &policy, Some(&mut cache)).unwrap();
+    assert_eq!(report.files_scanned, 2);
+    assert_eq!(
+        report.files_reanalyzed, 1,
+        "only the touched file may be re-analyzed"
+    );
+    cache.save(&cache_path).unwrap();
+
+    // And the run after that is fully warm again.
+    let mut cache = Cache::load(&cache_path, policy.source_hash);
+    let warm = lint_workspace_cached(&root, &policy, Some(&mut cache)).unwrap();
+    assert_eq!(warm.files_reanalyzed, 0);
+}
+
+#[test]
+fn policy_change_invalidates_the_whole_cache() {
+    let root = setup("policy");
+    let cache_path = root.join("target/lint/cache.json");
+    let policy = Policy::parse(POLICY).unwrap();
+
+    let mut cache = Cache::load(&cache_path, policy.source_hash);
+    lint_workspace_cached(&root, &policy, Some(&mut cache)).unwrap();
+    cache.save(&cache_path).unwrap();
+
+    // Even a comment-only edit to the policy text must flush the cache:
+    // findings were computed under the old policy bytes.
+    let changed = Policy::parse(&format!("{POLICY}\n# tightened tomorrow\n")).unwrap();
+    assert_ne!(changed.source_hash, policy.source_hash);
+    let mut cache = Cache::load(&cache_path, changed.source_hash);
+    let report = lint_workspace_cached(&root, &changed, Some(&mut cache)).unwrap();
+    assert_eq!(report.files_scanned, 2);
+    assert_eq!(
+        report.files_reanalyzed, 2,
+        "a policy-hash mismatch must re-lint every file"
+    );
+}

@@ -1,0 +1,18 @@
+//! Fixture: bracket indexing on sim paths — a slice index, a field-chain
+//! index, and an index off a call result all panic on a bad bound.
+
+pub struct Mesh {
+    links: Vec<u64>,
+}
+
+pub fn way_stamp(stamps: &[u64], way: usize) -> u64 {
+    stamps[way]
+}
+
+pub fn hop(m: &Mesh, x: usize, y: usize, width: usize) -> u64 {
+    m.links[y * width + x]
+}
+
+pub fn tail_byte(bytes: &[u8]) -> u8 {
+    bytes[bytes.len() - 1]
+}

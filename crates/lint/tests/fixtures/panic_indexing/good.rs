@@ -1,0 +1,19 @@
+//! Fixture: checked access, array types, attributes, and full-range
+//! borrows all involve `[` without a panicking index and stay silent.
+
+#[derive(Clone)]
+pub struct Header {
+    pub magic: [u8; 4],
+}
+
+pub fn way_stamp(stamps: &[u64], way: usize) -> Option<u64> {
+    stamps.get(way).copied()
+}
+
+pub fn whole(stamps: &[u64]) -> &[u64] {
+    &stamps[..]
+}
+
+pub fn first_or_zero(stamps: &[u64]) -> u64 {
+    stamps.first().copied().unwrap_or(0)
+}

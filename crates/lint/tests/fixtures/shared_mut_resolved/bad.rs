@@ -1,0 +1,14 @@
+//! Fixture: single-thread interior mutability smuggled behind an import
+//! rename and a `type` alias; the field type resolves to RefCell.
+
+use std::cell::RefCell as Slot;
+
+type Shared = Slot<u64>;
+
+pub struct Counter {
+    inner: Shared,
+}
+
+pub fn bump(c: &Counter) {
+    *c.inner.borrow_mut() += 1;
+}

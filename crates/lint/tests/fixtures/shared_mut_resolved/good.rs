@@ -1,0 +1,16 @@
+//! Fixture: the same rename/alias shapes over a Sync container (Mutex)
+//! are deliberate cross-thread state and must stay silent.
+
+use std::sync::Mutex as Slot;
+
+type Shared = Slot<u64>;
+
+pub struct Counter {
+    inner: Shared,
+}
+
+pub fn fresh() -> Counter {
+    Counter {
+        inner: Shared::new(0),
+    }
+}

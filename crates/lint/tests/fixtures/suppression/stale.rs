@@ -1,0 +1,8 @@
+//! Fixture: a well-formed suppression whose rule runs but silences
+//! nothing is stale — the unwrap it excused was fixed, so the comment
+//! must be deleted (and failing the build is how we find out).
+
+pub fn checked(stamps: &[u64]) -> u64 {
+    // nocstar-lint: allow(sim-unwrap): leftover from a removed unwrap
+    stamps.first().copied().unwrap_or(0)
+}

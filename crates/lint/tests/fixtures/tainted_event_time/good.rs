@@ -1,0 +1,34 @@
+//! Fixture: event times derived from simulated time and ordered
+//! iteration are deterministic and stay silent — same sink shapes as the
+//! bad fixture, clean sources.
+
+use std::collections::BTreeMap;
+
+pub struct Ev {
+    pub at: u64,
+}
+
+pub struct SimReport {
+    pub walks: u64,
+}
+
+pub fn schedule(now: u64, delay: u64) -> Ev {
+    let when = now + delay;
+    Ev { at: when }
+}
+
+pub struct Sched {
+    pending: BTreeMap<u64, u64>,
+}
+
+impl Sched {
+    pub fn emit(&self, out: &mut Vec<Ev>) {
+        for vpn in self.pending.keys() {
+            out.push(Ev { at: *vpn });
+        }
+    }
+}
+
+pub fn summarize(walks: u64) -> SimReport {
+    SimReport { walks }
+}

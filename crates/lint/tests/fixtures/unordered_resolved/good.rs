@@ -1,0 +1,19 @@
+//! Fixture: the same rename/alias/field shapes over an *ordered* map
+//! resolve to BTreeMap and must stay silent — resolution must not flag
+//! the spelling, only what it denotes.
+
+use std::collections::BTreeMap as Map;
+
+type HomeCache = Map<u64, usize>;
+
+pub struct SliceDirectory {
+    homes: HomeCache,
+}
+
+pub fn lookup(dir: &SliceDirectory, vpn: u64) -> Option<usize> {
+    dir.homes.get(&vpn).copied()
+}
+
+pub fn fresh() -> HomeCache {
+    HomeCache::new()
+}

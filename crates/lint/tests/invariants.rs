@@ -88,16 +88,68 @@ fn sim_crates_cannot_be_declassified() {
     }
 }
 
+/// The pinned sim-class severity floor. Every rule is `error` except
+/// `panic-indexing`, which ships at `warn` until the tree's audited
+/// fixed-geometry indexing sites are burned down (tracked in ROADMAP);
+/// it must never drop to `allow`.
+const SIM_SEVERITIES: &[(&str, Severity)] = &[
+    ("unordered-iteration", Severity::Error),
+    ("wall-clock", Severity::Error),
+    ("entropy-rng", Severity::Error),
+    ("sim-unwrap", Severity::Error),
+    ("event-time-regression", Severity::Error),
+    ("shared-mut-parallel", Severity::Error),
+    ("float-accumulation", Severity::Error),
+    ("panic-indexing", Severity::Warn),
+    ("tainted-event-time", Severity::Error),
+];
+
 #[test]
-fn sim_class_holds_every_rule_at_error() {
+fn sim_class_severities_are_pinned() {
     let policy = shipped_policy();
-    for rule in rules::registry() {
+    for (rule, want) in SIM_SEVERITIES {
         assert_eq!(
-            policy.severity("sim", rule.id()),
-            Severity::Error,
-            "rule `{}` must be error severity for sim crates",
+            policy.severity("sim", rule),
+            *want,
+            "rule `{rule}` must be {} severity for sim crates",
+            want.name()
+        );
+    }
+    // The table above must cover the registry exactly, so a new rule
+    // cannot ship without a pinned sim severity.
+    let pinned: Vec<&str> = SIM_SEVERITIES.iter().map(|(r, _)| *r).collect();
+    for rule in rules::registry() {
+        assert!(
+            pinned.contains(&rule.id()),
+            "rule `{}` has no pinned sim severity — add it to SIM_SEVERITIES",
             rule.id()
         );
+    }
+    assert_eq!(
+        pinned.len(),
+        rules::registry().len(),
+        "stale SIM_SEVERITIES entry"
+    );
+}
+
+#[test]
+fn every_rule_is_configured_in_every_class() {
+    // No rule may ship unclassified: both [rules.sim] and [rules.tools]
+    // must take an explicit position (even if that position is `allow`)
+    // on every registry rule, so adding a rule forces a policy decision.
+    let policy = shipped_policy();
+    for class in ["sim", "tools"] {
+        let table = policy
+            .rules
+            .get(class)
+            .unwrap_or_else(|| panic!("policy has no [rules.{class}] table"));
+        for rule in rules::registry() {
+            assert!(
+                table.contains_key(rule.id()),
+                "[rules.{class}] takes no position on `{}` — add an explicit entry",
+                rule.id()
+            );
+        }
     }
 }
 

@@ -45,11 +45,22 @@ echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
 echo "== nocstar-lint (determinism & simulator invariants) =="
+# Cold pass: drop the incremental cache so every file is analyzed, then
+# a warm pass over the unchanged tree must be served 100% from cache —
+# this doubles as an end-to-end check of cache.rs's content hashing.
+rm -rf target/lint
 mkdir -p target/lint
 cargo run --release -q -p nocstar-lint -- \
   --json-out target/lint/report.json \
   --sarif-out target/lint/report.sarif
 echo "   lint artifacts: target/lint/report.json, target/lint/report.sarif"
+echo "== nocstar-lint (warm cache pass) =="
+WARM_SUMMARY="$(cargo run --release -q -p nocstar-lint -- --quiet 2>&1 | tail -n 1)"
+echo "   $WARM_SUMMARY"
+if [[ "$WARM_SUMMARY" != *"(0 re-analyzed"* ]]; then
+  echo "error: warm lint pass re-analyzed files on an unchanged tree" >&2
+  exit 1
+fi
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
