@@ -8,7 +8,7 @@ type Step = (&'static str, fn(Effort));
 fn main() {
     let effort = Effort::from_env();
     let t0 = std::time::Instant::now();
-    let steps: [Step; 25] = [
+    let steps: [Step; 26] = [
         ("table1", ex::table1::run),
         ("table2", ex::table2::run),
         ("fig03", ex::fig03::run),
@@ -34,6 +34,7 @@ fn main() {
         ("fig18", ex::fig18::run),
         ("faultsweep", ex::faultsweep::run),
         ("recovery", ex::recovery::run),
+        ("sampled", ex::sampled::run),
     ];
     for (name, step) in steps {
         let t = std::time::Instant::now();

@@ -1,0 +1,6 @@
+//! Validates sampled fast-forward replay against exact replay of the same
+//! span (confidence-interval coverage, detailed-event reduction); see
+//! `experiments::sampled` and `SAMPLING.md`.
+fn main() {
+    nocstar_bench::experiments::sampled::run(nocstar_bench::Effort::from_env());
+}

@@ -66,6 +66,7 @@ pub mod fig18;
 pub mod fig19;
 pub mod recovery;
 pub mod replay;
+pub mod sampled;
 pub mod scaleup;
 pub mod slice_ubench;
 pub mod table1;

@@ -265,6 +265,53 @@ pub fn parallel_settings() -> &'static ParallelSettings {
     PARALLEL.get_or_init(ParallelSettings::from_env)
 }
 
+/// Sampled-replay settings shared by every experiment binary, resolved
+/// once from the process arguments and environment:
+///
+/// * `--sample <spec>` (or `NOCSTAR_SAMPLE=<spec>`) — replace every run's
+///   exact replay with sampled fast-forward replay per `SAMPLING.md`. The
+///   spec is `<period>:<window>:<warmup>[@<seed>]` in accesses per thread,
+///   e.g. `1000:60:30@7`; the whole effort span (warmup + measured
+///   accesses per thread) becomes the sampled trace span, and each
+///   report gains a `sampling` section with per-metric confidence
+///   intervals.
+///
+/// A malformed spec terminates the process with exit code 2, as does
+/// combining `--sample` with `--faults` or `--recovery` (fault windows
+/// are cycle-based; fast-forward does not advance cycles).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleSettings {
+    /// The sampling spec applied to every run (`None` = exact replay).
+    pub spec: Option<SampleSpec>,
+}
+
+impl SampleSettings {
+    fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let raw = args
+            .iter()
+            .position(|a| a == "--sample")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .or_else(|| std::env::var("NOCSTAR_SAMPLE").ok());
+        let spec = match raw.as_deref().map(str::parse::<SampleSpec>) {
+            None => None,
+            Some(Ok(spec)) => Some(spec),
+            Some(Err(e)) => {
+                eprintln!("error: bad sample spec: {e}");
+                std::process::exit(2);
+            }
+        };
+        Self { spec }
+    }
+}
+
+/// The process-wide sampled-replay settings (first use resolves them).
+pub fn sample_settings() -> &'static SampleSettings {
+    static SAMPLE: OnceLock<SampleSettings> = OnceLock::new();
+    SAMPLE.get_or_init(SampleSettings::from_env)
+}
+
 /// Reports collected since the last [`emit`], serialized eagerly so the
 /// collector owns no simulator state.
 static COLLECTED: Mutex<Vec<Json>> = Mutex::new(Vec::new());
@@ -354,6 +401,37 @@ impl Effort {
         let recovery = recovery_settings();
         if recovery.policy.is_enabled() {
             sim = sim.with_recovery(recovery.policy);
+        }
+        if let Some(spec) = sample_settings().spec {
+            if !faults.plan.is_empty() || recovery.policy.is_enabled() {
+                eprintln!(
+                    "error: --sample cannot be combined with --faults or --recovery \
+                     (fault windows are cycle-based; fast-forward does not advance cycles)"
+                );
+                std::process::exit(2);
+            }
+            let span = self.warmup + self.accesses;
+            if spec.windows(span) == 0 {
+                eprintln!(
+                    "error: sample spec {spec} places no measurement window \
+                     in a span of {span} accesses per thread"
+                );
+                std::process::exit(2);
+            }
+            let report = match sim.try_run_sampled(spec, span) {
+                Ok(report) => report,
+                Err(abort) => {
+                    eprintln!(
+                        "warning: sampled {} run of {} aborted ({}); using the partial report",
+                        org.label(),
+                        preset.name(),
+                        abort.error
+                    );
+                    abort.partial
+                }
+            };
+            collect_report(&report);
+            return report;
         }
         let report = match sim.try_run_measured(self.warmup, self.accesses) {
             Ok(report) => report,

@@ -15,6 +15,8 @@
 //!   shootdown relay via invalidation leaders.
 //! * [`report`] — [`SimReport`] with the measurements every figure of the
 //!   paper is computed from.
+//! * [`sampling`] — per-window samples and confidence-interval estimates
+//!   for sampled fast-forward replay (`SAMPLING.md`).
 //!
 //! # Examples
 //!
@@ -39,10 +41,12 @@ mod event;
 pub mod network;
 pub mod org;
 pub mod report;
+pub mod sampling;
 pub mod sim;
 
 pub use assignment::WorkloadAssignment;
 pub use config::{MonolithicNet, SystemConfig, TlbOrg, WalkPolicy};
 pub use nocstar_faults::{FaultPlan, SimError};
 pub use report::SimReport;
+pub use sampling::{MetricEstimate, SamplingReport};
 pub use sim::{SimAbort, Simulation};

@@ -12,6 +12,8 @@ use nocstar_stats::tracing::TraceRecord;
 use nocstar_stats::Log2Histogram;
 use std::fmt;
 
+use crate::sampling::SamplingReport;
+
 /// Everything measured by one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -63,6 +65,10 @@ pub struct SimReport {
     pub trace: Vec<TraceRecord>,
     /// Trace records overwritten because the ring buffer was full.
     pub trace_dropped: u64,
+    /// Sampled-replay estimates (`SAMPLING.md §4`). `None` for exact runs,
+    /// and the `sampling` JSON key is omitted entirely in that case, so
+    /// exact-mode golden reports stay byte-identical.
+    pub sampling: Option<SamplingReport>,
 }
 
 impl SimReport {
@@ -142,7 +148,7 @@ impl SimReport {
             Some(n) => network_json(n, self.cycles),
             None => Json::Null,
         };
-        Json::obj(vec![
+        let mut entries = vec![
             ("label", Json::str(self.label.as_str())),
             ("org", Json::str(self.org_label.as_str())),
             ("cores", Json::U64(self.cores as u64)),
@@ -179,7 +185,11 @@ impl SimReport {
             ("metrics", metrics),
             ("trace", trace),
             ("trace_dropped", Json::U64(self.trace_dropped)),
-        ])
+        ];
+        if let Some(sampling) = &self.sampling {
+            entries.push(("sampling", sampling.to_json()));
+        }
+        Json::obj(entries)
     }
 }
 
@@ -335,6 +345,7 @@ mod tests {
             metrics: MetricsSnapshot::default(),
             trace: Vec::new(),
             trace_dropped: 0,
+            sampling: None,
         }
     }
 
@@ -403,6 +414,8 @@ mod tests {
         );
         // No network: the key is present but null.
         assert_eq!(parsed.get("network"), Some(&Json::Null));
+        // Exact runs omit the sampling section entirely (golden stability).
+        assert!(parsed.get("sampling").is_none());
     }
 
     #[test]

@@ -12,15 +12,19 @@ use crate::event::{Event, EventQueue};
 use crate::network::NetworkModel;
 use crate::org::OrgState;
 use crate::report::SimReport;
+use crate::sampling::{self, SamplingReport, WindowSample};
 use nocstar_energy::account::EnergyAccount;
 use nocstar_energy::model::{self, NocDesign};
 use nocstar_faults::{DiagSnapshot, FaultPlan, RecoveryPolicy, SimError};
 use nocstar_mem::hierarchy::{MemoryConfig, MemorySystem, ServicedBy, SharedTables};
+use nocstar_mem::walker::WalkLatency;
 use nocstar_noc::hier::HierNoc;
 use nocstar_noc::mesh::MeshNoc;
 use nocstar_noc::message::{Delivery, Message, MsgKind};
 use nocstar_noc::smart::SmartNoc;
-use nocstar_stats::counter::Counter;
+use nocstar_noc::NocStats;
+use nocstar_stats::counter::{Counter, HitMiss};
+use nocstar_stats::histogram::ConcurrencyBins;
 use nocstar_stats::latency::LatencyRecorder;
 use nocstar_stats::metrics::{CounterId, Log2Histogram, MetricsRegistry};
 use nocstar_stats::tracing::{TraceRecord, TraceSink};
@@ -29,6 +33,7 @@ use nocstar_tlb::l1::L1Tlb;
 use nocstar_tlb::shootdown::Invalidation;
 use nocstar_types::time::{Cycle, Cycles};
 use nocstar_types::{Asid, CoreId, MeshShape, PageSize, VirtAddr, VirtPageNum};
+use nocstar_workloads::sample::SampleSpec;
 use nocstar_workloads::trace::{MemAccess, TraceEvent, TraceSource};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -375,6 +380,27 @@ struct ThreadState {
     finished: bool,
 }
 
+/// Whether the driver replays every access cycle-accurately or alternates
+/// functional fast-forward with measurement windows (`SAMPLING.md §1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunMode {
+    Exact,
+    Sampled,
+}
+
+/// Live state of a sampled run: the placement spec, the replayed span, and
+/// the samples harvested so far.
+struct SamplingState {
+    spec: SampleSpec,
+    /// Total trace span, in accesses per thread.
+    span: u64,
+    /// Accesses (all threads) consumed functionally so far.
+    ff_accesses: u64,
+    /// Per-thread measured cycles accumulated over completed windows.
+    thread_measured: Vec<u64>,
+    windows: Vec<WindowSample>,
+}
+
 /// One configured system ready to run one workload.
 pub struct Simulation {
     config: SystemConfig,
@@ -410,6 +436,9 @@ pub struct Simulation {
     /// Simulated time of the last completed memory access, chip-wide —
     /// the forward-progress marker the livelock watchdog measures against.
     last_progress: Cycle,
+    /// `Some` while running in sampled mode (`SAMPLING.md`); exact runs
+    /// never allocate it, so their behaviour and reports are untouched.
+    sampling: Option<SamplingState>,
     // Statistics.
     energy: EnergyAccount,
     energy_design: Option<NocDesign>,
@@ -545,6 +574,7 @@ impl Simulation {
             recovery: RecoveryPolicy::default(),
             rehomed: BTreeMap::new(),
             last_progress: Cycle::ZERO,
+            sampling: None,
             energy: EnergyAccount::default(),
             energy_design,
             translation_latency: LatencyRecorder::new(),
@@ -671,9 +701,78 @@ impl Simulation {
         self.warm_crossed = if warmup == 0 { self.threads.len() } else { 0 };
         self.target = accesses_per_thread;
         let result = if self.domains > 1 {
-            self.run_domains_parallel()
+            self.run_domains_parallel(RunMode::Exact)
         } else {
             self.start_threads_and_event_loop()
+        };
+        if let Err(error) = result {
+            let partial = self.finish();
+            return Err(Box::new(SimAbort {
+                error: *error,
+                partial,
+            }));
+        }
+        Ok(self.finish())
+    }
+
+    /// Sampled fast-forward replay over a span of `total` accesses per
+    /// thread (`SAMPLING.md`): functional fast-forward between the
+    /// measurement windows `spec` places, a detailed warmup ramp in front
+    /// of each window whose statistics are discarded, and per-window
+    /// estimates combined into whole-trace confidence intervals in the
+    /// report's `sampling` section.
+    ///
+    /// # Panics
+    ///
+    /// As [`try_run_sampled`](Self::try_run_sampled), plus on any
+    /// structured simulation failure inside a measurement window.
+    pub fn run_sampled(self, spec: SampleSpec, total: u64) -> SimReport {
+        match self.try_run_sampled(spec, total) {
+            Ok(report) => report,
+            Err(abort) => panic!("{}", abort.error),
+        }
+    }
+
+    /// [`run_sampled`](Self::run_sampled), returning structured errors
+    /// instead of panicking. A [`SimAbort`]'s partial report covers the
+    /// windows completed before the failure.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_run`](Self::try_run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` places no measurement window inside `total`
+    /// accesses per thread, or if a fault plan or recovery policy is
+    /// installed — fault windows are cycle-based and fast-forward does not
+    /// advance cycles, so sampled replay cannot honour them
+    /// (`SAMPLING.md §7`).
+    pub fn try_run_sampled(
+        mut self,
+        spec: SampleSpec,
+        total: u64,
+    ) -> Result<SimReport, Box<SimAbort>> {
+        assert!(
+            self.faults.is_empty() && !self.recovery.is_enabled(),
+            "sampled replay is incompatible with fault plans and recovery: \
+             fault windows are cycle-based and fast-forward does not advance cycles"
+        );
+        assert!(
+            spec.windows(total) >= 1,
+            "sample spec {spec} places no measurement window in {total} accesses per thread"
+        );
+        self.sampling = Some(SamplingState {
+            spec,
+            span: total,
+            ff_accesses: 0,
+            thread_measured: vec![0; self.threads.len()],
+            windows: Vec::new(),
+        });
+        let result = if self.domains > 1 {
+            self.run_domains_parallel(RunMode::Sampled)
+        } else {
+            self.sampled_loop()
         };
         if let Err(error) = result {
             let partial = self.finish();
@@ -715,7 +814,7 @@ impl Simulation {
     /// [`lookahead`](nocstar_noc::Interconnect::lookahead); workers only
     /// ever run ahead on *pure* per-thread state, so no horizon violation
     /// is possible regardless of how far they lead.
-    fn run_domains_parallel(&mut self) -> Result<(), Box<SimError>> {
+    fn run_domains_parallel(&mut self, mode: RunMode) -> Result<(), Box<SimError>> {
         let mut per_domain: Vec<Vec<FeedThread>> = (0..self.domains).map(|_| Vec::new()).collect();
         for t in 0..self.threads.len() {
             let domain = self.domain_of_thread(t);
@@ -764,8 +863,260 @@ impl Simulation {
                 stop: &stop,
                 workers: &handles,
             };
-            self.start_threads_and_event_loop()
+            // Fast-forward consumes the piped feeds in the same per-thread
+            // order as the event loop, so the worker precompute argument
+            // above holds unchanged in sampled mode.
+            match mode {
+                RunMode::Exact => self.start_threads_and_event_loop(),
+                RunMode::Sampled => self.sampled_loop(),
+            }
         })
+    }
+
+    // ----- sampled fast-forward replay (SAMPLING.md) ------------------------
+
+    /// Alternates functional fast-forward legs with detailed legs until
+    /// the spec places no further window inside the span (`SAMPLING.md §1`
+    /// state machine). The loop produces exactly
+    /// [`SampleSpec::windows`]`(span)` measurement windows.
+    fn sampled_loop(&mut self) -> Result<(), Box<SimError>> {
+        for t in 0..self.threads.len() {
+            self.threads[t].core = self.core_of(t);
+        }
+        let (spec, span) = match &self.sampling {
+            Some(s) => (s.spec, s.span),
+            None => return Err(self.protocol_error("sampled loop without sampling state".into())),
+        };
+        let mut consumed = 0u64;
+        let mut ff = spec.offset();
+        while consumed + ff + spec.warmup() + spec.window() <= span {
+            self.fast_forward(ff);
+            consumed += ff;
+            self.detailed_leg(spec.warmup(), spec.window())?;
+            consumed += spec.warmup() + spec.window();
+            self.harvest_window();
+            ff = spec.slack();
+        }
+        Ok(())
+    }
+
+    /// Functionally consumes `quota` memory accesses per thread without
+    /// advancing simulated time: architectural state (page tables, TLB and
+    /// replica contents, ASID state) evolves exactly as the trace
+    /// dictates, but nothing is timed, counted, or sent over the network.
+    /// Threads are drained round-robin, one access each, in thread-index
+    /// order, so shared-state mutation order is deterministic and
+    /// independent of the domain count (`SAMPLING.md §6`).
+    fn fast_forward(&mut self, quota: u64) {
+        for _ in 0..quota {
+            for t in 0..self.threads.len() {
+                loop {
+                    let pe = self.next_pre_event(t);
+                    match pe.ev {
+                        TraceEvent::Access(a) => {
+                            self.functional_access(t, pe.asid, a, pe.backing);
+                            self.threads[t].accesses_done += 1;
+                            break;
+                        }
+                        TraceEvent::ContextSwitch => {
+                            let core = self.threads[t].core;
+                            self.l1s[core.index()].flush_non_global();
+                            self.mem.flush_pwc(core);
+                            if self.config.org.is_shared() {
+                                self.org.flush_all_non_global();
+                            } else {
+                                self.org.flush_core_non_global(core);
+                            }
+                        }
+                        TraceEvent::Remap(vpn) => {
+                            if self.mem.remap(pe.asid, vpn).is_some() {
+                                self.functional_shootdown(pe.asid, vpn);
+                            }
+                        }
+                        TraceEvent::Promote(v2m) => {
+                            for i in 0..v2m.page_size().base_pages() {
+                                let va = VirtAddr::new(v2m.base().value() + i * 4096);
+                                if self.mem.translate(pe.asid, va).is_none() {
+                                    self.mem.ensure_mapped(pe.asid, va, PageSize::Size4K);
+                                }
+                            }
+                            if let Some(stale) = self.mem.promote(pe.asid, v2m) {
+                                for vpn in stale {
+                                    self.functional_shootdown(pe.asid, vpn);
+                                }
+                            }
+                        }
+                        TraceEvent::Demote(v2m) => {
+                            if let Some(stale) = self.mem.demote(pe.asid, v2m) {
+                                self.functional_shootdown(pe.asid, stale);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(s) = &mut self.sampling {
+            s.ff_accesses += quota * self.threads.len() as u64;
+        }
+    }
+
+    /// One access, functionally: the stat-free mirror of [`issue`]'s
+    /// translation path. L1 and home-slice contents update through the
+    /// stat-free `touch` entry points, misses demand-map and fill through
+    /// [`MemorySystem::resolve_mapped`], and the same adjacent-page
+    /// prefetch fills fire — so the TLB state a measurement window starts
+    /// from matches what an exact replay would have left behind, up to
+    /// timing-dependent interleaving (`SAMPLING.md §2`).
+    ///
+    /// The memory side warms functionally too: every access touches the
+    /// data-cache hierarchy at the translated physical address, and every
+    /// would-be walk touches the PWC and PTE cache lines — otherwise each
+    /// measurement window would start from stale-warm caches and charge
+    /// inflated miss latencies the exact replay never sees.
+    fn functional_access(
+        &mut self,
+        t: usize,
+        asid: Asid,
+        access: MemAccess,
+        backing: Option<PageSize>,
+    ) {
+        let va = access.va;
+        let core = self.threads[t].core;
+        if let Some(entry) = self.l1s[core.index()].touch(asid, va) {
+            // An L1 entry exists only for a mapped page, and mapped-ness is
+            // monotone — the demand-map check below would be a no-op.
+            self.mem
+                .warm_access(core, entry.translate(va), access.is_write);
+            return;
+        }
+        let size = match backing {
+            Some(size) => size,
+            None => self.live_backing(t, va),
+        };
+        // The home is keyed by the workload's backing page size, exactly
+        // as the issue path keys its lookup transaction.
+        let home_vpn = va.page_number(size);
+        let (home_idx, _) = self.org.home_of(home_vpn, core);
+        if let Some(entry) = self.org.structure_mut(home_idx).touch(asid, home_vpn) {
+            self.l1s[core.index()].insert(entry);
+            self.mem
+                .warm_access(core, entry.translate(va), access.is_write);
+            return;
+        }
+        // Slice miss: a walk would resolve the page-table leaf (demand-
+        // mapping on first touch), fill both levels, and pull the PTE
+        // lines through the walking core's caches (variable-latency walks
+        // only — fixed-latency walks never touch the hierarchy).
+        let (vpn, ppn) = self.mem.resolve_mapped(asid, va, size);
+        if self.config.walk_latency == WalkLatency::Variable {
+            self.mem.warm_walk(core, asid, va);
+        }
+        let entry = TlbEntry::new(asid, vpn, ppn);
+        self.org.structure_mut(home_idx).insert(entry);
+        self.l1s[core.index()].insert(entry);
+        self.mem
+            .warm_access(core, entry.translate(va), access.is_write);
+        self.functional_prefetch(home_vpn, asid);
+    }
+
+    /// [`prefetch_around`] minus timing and energy: fills the neighbours'
+    /// home slices directly.
+    fn functional_prefetch(&mut self, vpn: VirtPageNum, asid: Asid) {
+        if !self.config.prefetch.is_enabled() {
+            return;
+        }
+        let candidates: Vec<VirtPageNum> = self.config.prefetch.candidates(vpn).collect();
+        for cand in candidates {
+            if let Some((mapped_vpn, ppn)) = self.mem.translate(asid, cand.base()) {
+                if mapped_vpn == cand {
+                    let (idx, _) = self.org.home_of(cand, CoreId::new(0));
+                    self.org
+                        .structure_mut(idx)
+                        .insert(TlbEntry::new(asid, cand, ppn));
+                }
+            }
+        }
+    }
+
+    /// [`shootdown`] minus timing, counting and messaging: the stale
+    /// translation leaves every L1 and every home structure immediately
+    /// (re-homed backups cannot exist — sampled mode rejects recovery).
+    fn functional_shootdown(&mut self, asid: Asid, vpn: VirtPageNum) {
+        for l1 in &mut self.l1s {
+            l1.invalidate(asid, vpn);
+        }
+        self.org.invalidate(asid, vpn);
+    }
+
+    /// One detailed leg: `warmup` cycle-accurate accesses per thread whose
+    /// statistics are discarded at the boundary (the existing
+    /// [`reset_statistics`] warmup machinery), then `window` measured
+    /// accesses per thread. Resumes simulated time at the latest per-thread
+    /// finish of the previous leg, so time stays monotone across legs.
+    fn detailed_leg(&mut self, warmup: u64, window: u64) -> Result<(), Box<SimError>> {
+        let done = self.threads[0].accesses_done;
+        debug_assert!(
+            self.threads.iter().all(|th| th.accesses_done == done),
+            "threads drifted between legs"
+        );
+        self.warm_target = done + warmup;
+        self.warm_crossed = 0;
+        self.target = done + warmup + window;
+        self.completed_threads = 0;
+        let resume = self
+            .threads
+            .iter()
+            .map(|th| th.finish_time)
+            .fold(self.now, Cycle::max);
+        for t in 0..self.threads.len() {
+            self.threads[t].finished = false;
+            self.events
+                .push_in(self.domain_of_thread(t), resume, Event::ThreadNext(t));
+        }
+        self.event_loop()
+    }
+
+    /// Captures the window that just finished (`SAMPLING.md §1`,
+    /// "Harvest"): everything [`finish`] would measure for a whole exact
+    /// run, scoped to this window by the warmup-boundary statistics reset.
+    fn harvest_window(&mut self) {
+        let durations: Vec<u64> = self
+            .threads
+            .iter()
+            .zip(&self.warm_cross_time)
+            .map(|(th, &cross)| (th.finish_time - cross).value())
+            .collect();
+        let runtime = durations.iter().copied().max().unwrap_or(0);
+        let mut l1 = HitMiss::new();
+        for l in &self.l1s {
+            l1.merge(l.stats());
+        }
+        let mut slice_concurrency = ConcurrencyBins::new();
+        for tr in &self.org.trackers {
+            slice_concurrency.merge(tr.bins());
+        }
+        let sample = WindowSample {
+            durations,
+            runtime,
+            l1,
+            l2: self.org.merged_stats(),
+            per_structure: self.org.per_structure_stats(),
+            walks: self.walks.get(),
+            walks_llc_or_mem: self.walks_llc_or_mem.get(),
+            shootdowns: self.shootdowns.get(),
+            flushes: self.flushes.get(),
+            translation_latency: self.translation_latency,
+            energy: self.energy,
+            chip_concurrency: self.org.chip_tracker.bins().clone(),
+            slice_concurrency,
+            network: self.net.stats().cloned(),
+        };
+        if let Some(s) = &mut self.sampling {
+            for (total, d) in s.thread_measured.iter_mut().zip(&sample.durations) {
+                *total += d;
+            }
+            s.windows.push(sample);
+        }
     }
 
     /// The event loop proper: advances time event-to-event until every
@@ -1923,6 +2274,9 @@ impl Simulation {
     }
 
     fn finish(mut self) -> SimReport {
+        if self.sampling.is_some() {
+            return self.finish_sampled();
+        }
         let durations: Vec<u64> = self
             .threads
             .iter()
@@ -1971,6 +2325,102 @@ impl Simulation {
             metrics: self.metrics.snapshot(),
             trace: self.trace.records().copied().collect(),
             trace_dropped: self.trace.dropped(),
+            sampling: None,
+        }
+    }
+
+    /// Reduces a sampled run to its report (`SAMPLING.md §4`): window sums
+    /// for totals, window merges for distributions, end-state for
+    /// occupancy, the `SAMPLING.md §3` interval estimates in the
+    /// `sampling` section. Also handles partial (aborted) sampled runs —
+    /// whatever windows completed are reported, and the estimate list is
+    /// empty when none did.
+    fn finish_sampled(mut self) -> SimReport {
+        let Some(state) = self.sampling.take() else {
+            // finish() dispatches here only when the state exists.
+            return self.finish();
+        };
+        let spec = state.spec;
+        let windows = state.windows;
+        let threads = self.threads.len() as u64;
+        let last_runtime = windows.last().map_or(0, |w| w.runtime);
+        self.harvest_metrics(last_runtime);
+        let mut cycles = 0u64;
+        let mut l1 = HitMiss::new();
+        let mut l2 = HitMiss::new();
+        let mut per_structure: Vec<HitMiss> = Vec::new();
+        let mut walks = 0u64;
+        let mut walks_llc_or_mem = 0u64;
+        let mut shootdowns = 0u64;
+        let mut flushes = 0u64;
+        let mut translation_latency = LatencyRecorder::new();
+        let mut energy = EnergyAccount::default();
+        let mut chip_concurrency = ConcurrencyBins::new();
+        let mut slice_concurrency = ConcurrencyBins::new();
+        let mut network: Option<NocStats> = None;
+        for w in &windows {
+            cycles += w.runtime;
+            l1.merge(w.l1);
+            l2.merge(w.l2);
+            if per_structure.len() < w.per_structure.len() {
+                per_structure.resize(w.per_structure.len(), HitMiss::new());
+            }
+            for (total, s) in per_structure.iter_mut().zip(&w.per_structure) {
+                total.merge(*s);
+            }
+            walks += w.walks;
+            walks_llc_or_mem += w.walks_llc_or_mem;
+            shootdowns += w.shootdowns;
+            flushes += w.flushes;
+            translation_latency.merge(&w.translation_latency);
+            energy.merge(&w.energy);
+            chip_concurrency.merge(&w.chip_concurrency);
+            slice_concurrency.merge(&w.slice_concurrency);
+            if let Some(n) = &w.network {
+                match &mut network {
+                    Some(total) => total.merge(n),
+                    None => network = Some(n.clone()),
+                }
+            }
+        }
+        let estimates = sampling::estimates(&windows, spec.window(), self.threads.len());
+        let section = SamplingReport {
+            spec: spec.to_string(),
+            period: spec.period(),
+            window: spec.window(),
+            warmup: spec.warmup(),
+            seed: spec.seed(),
+            offset: spec.offset(),
+            windows: windows.len() as u64,
+            span_accesses_per_thread: state.span,
+            accesses_fast_forwarded: state.ff_accesses,
+            accesses_detailed: windows.len() as u64 * (spec.warmup() + spec.window()) * threads,
+            estimates,
+        };
+        SimReport {
+            label: self.label,
+            org_label: self.config.org.label().to_string(),
+            cores: self.config.cores,
+            cycles,
+            accesses: windows.len() as u64 * spec.window() * threads,
+            per_thread_finish: state.thread_measured,
+            l1,
+            l2,
+            per_structure,
+            l2_occupancy: self.org.occupancy(),
+            walks,
+            walks_llc_or_mem,
+            shootdowns,
+            flushes,
+            chip_concurrency,
+            slice_concurrency,
+            translation_latency,
+            network,
+            energy,
+            metrics: self.metrics.snapshot(),
+            trace: self.trace.records().copied().collect(),
+            trace_dropped: self.trace.dropped(),
+            sampling: Some(section),
         }
     }
 }
@@ -1993,6 +2443,83 @@ mod tests {
         let config = SystemConfig::new(cores, org);
         let workload = WorkloadAssignment::preset(&config, Preset::Redis);
         Simulation::new(config, workload).run(accesses)
+    }
+
+    fn run_sampled(cores: usize, org: TlbOrg, spec: &str, total: u64, domains: usize) -> SimReport {
+        let mut config = SystemConfig::new(cores, org);
+        config.parallel_domains = domains;
+        let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+        let spec: SampleSpec = spec.parse().expect("valid sample spec");
+        Simulation::new(config, workload).run_sampled(spec, total)
+    }
+
+    #[test]
+    fn sampled_run_reports_windows_and_estimates() {
+        let spec: SampleSpec = "500:40:20@7".parse().expect("valid spec");
+        let report = run_sampled(4, TlbOrg::paper_nocstar(), "500:40:20@7", 2_000, 1);
+        let s = report.sampling.as_ref().expect("sampling section");
+        assert_eq!(s.windows, spec.windows(2_000));
+        assert!(s.windows >= 2);
+        // Report totals cover exactly the measured windows.
+        assert_eq!(report.accesses, s.windows * 40 * 4);
+        // The consumed span stops at the last window's end — the trailing
+        // slack is never replayed.
+        assert_eq!(
+            s.accesses_fast_forwarded + s.accesses_detailed,
+            (spec.offset() + (s.windows - 1) * 500 + 60) * 4
+        );
+        assert_eq!(s.estimates.len(), 9);
+        let cpa = s.estimate("cycles_per_access").expect("cycles estimate");
+        assert_eq!(cpa.per_window.len(), s.windows as usize);
+        assert!(cpa.interval.mean() > 0.0);
+        // Whole-run cycles are the sum of the window runtimes.
+        let total: f64 = cpa.per_window.iter().map(|v| v * 40.0).sum();
+        assert!((total - report.cycles as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampled_runs_are_deterministic_across_domain_counts() {
+        let baseline = run_sampled(8, TlbOrg::paper_nocstar(), "400:30:15@3", 1_700, 1)
+            .to_json()
+            .to_string();
+        for domains in [2, 4, 8] {
+            let got = run_sampled(8, TlbOrg::paper_nocstar(), "400:30:15@3", 1_700, domains)
+                .to_json()
+                .to_string();
+            assert_eq!(got, baseline, "{domains} domains diverged");
+        }
+    }
+
+    #[test]
+    fn exact_reports_carry_no_sampling_section() {
+        let report = run(4, TlbOrg::paper_nocstar(), 300);
+        assert!(report.sampling.is_none());
+        assert!(!report.to_json().to_string().contains("\"sampling\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "no measurement window")]
+    fn sampled_run_rejects_a_span_without_a_window() {
+        run_sampled(4, TlbOrg::paper_nocstar(), "1000:60:30@0", 80, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible with fault plans")]
+    fn sampled_run_rejects_fault_plans() {
+        let config = SystemConfig::new(4, TlbOrg::paper_nocstar());
+        let workload = WorkloadAssignment::preset(&config, Preset::Redis);
+        let spec: SampleSpec = "500:40:20@0".parse().expect("valid spec");
+        let mut plan = FaultPlan::default();
+        plan.walk_spikes.push(nocstar_faults::WalkSpike {
+            window: nocstar_faults::CycleWindow {
+                start: 0,
+                end: u64::MAX,
+            },
+            multiplier: 4,
+        });
+        Simulation::new(config, workload)
+            .with_faults(plan)
+            .run_sampled(spec, 2_000);
     }
 
     #[test]

@@ -123,6 +123,24 @@ impl Cache {
     /// Accesses one physical address; returns whether it hit. A miss fills
     /// the line (evicting LRU); a write marks the line dirty.
     pub fn access(&mut self, pa: PhysAddr, write: bool) -> bool {
+        let hit = self.lookup_fill(pa, write);
+        if hit {
+            self.stats.hit();
+        } else {
+            self.stats.miss();
+        }
+        hit
+    }
+
+    /// [`access`](Self::access) without statistics: fills, evicts and
+    /// updates recency identically but records no hit or miss — the
+    /// functional-warming entry point for sampled fast-forward replay
+    /// (`SAMPLING.md §2`).
+    pub fn touch(&mut self, pa: PhysAddr, write: bool) -> bool {
+        self.lookup_fill(pa, write)
+    }
+
+    fn lookup_fill(&mut self, pa: PhysAddr, write: bool) -> bool {
         let line = pa.value() / LINE_BYTES;
         let set = (line % self.num_sets as u64) as usize;
         let base = set * self.config.ways;
@@ -134,7 +152,6 @@ impl Cache {
             if write {
                 self.dirty[base + w] = true;
             }
-            self.stats.hit();
             return true;
         }
         // Miss: fill into the LRU way (invalid ways have stamp 0, so they
@@ -152,7 +169,6 @@ impl Cache {
         self.tags[base + victim] = line;
         self.stamps[base + victim] = self.clock;
         self.dirty[base + victim] = write;
-        self.stats.miss();
         false
     }
 
@@ -233,6 +249,30 @@ mod tests {
         assert_eq!(c.stats().accesses(), 0);
         c.access(PhysAddr::new(0), false);
         assert!(c.probe(PhysAddr::new(0)));
+    }
+
+    #[test]
+    fn touch_fills_and_promotes_without_statistics() {
+        let mut c = tiny();
+        let pa = PhysAddr::new(0x40);
+        assert!(!c.touch(pa, false)); // cold: fills the line
+        assert!(c.touch(pa, false));
+        assert_eq!(c.stats().accesses(), 0);
+        // The touched line is genuinely resident for later timed accesses.
+        assert!(c.access(pa, false));
+        assert_eq!(c.stats().hits(), 1);
+    }
+
+    #[test]
+    fn touch_and_access_share_one_recency_order() {
+        let mut c = tiny(); // 4 sets; lines 0,4,8 map to set 0
+        let line = |n: u64| PhysAddr::new(n * 4 * LINE_BYTES);
+        c.access(line(0), false);
+        c.access(line(1), false);
+        c.touch(line(0), false); // line 1 is now LRU
+        c.access(line(2), false); // evicts line 1
+        assert!(c.probe(line(0)));
+        assert!(!c.probe(line(1)));
     }
 
     #[test]

@@ -220,6 +220,27 @@ impl MemorySystem {
         }
     }
 
+    /// Functional warming of the data-cache hierarchy (`SAMPLING.md §2`):
+    /// fills and updates recency at each level exactly as
+    /// [`access`](Self::access) would — an L1 hit stops there, and so on
+    /// down — but records no hit/miss statistics and charges no latency.
+    /// Sampled fast-forward replay uses this so measurement windows start
+    /// from warm caches instead of stale-warm ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn warm_access(&mut self, core: CoreId, pa: PhysAddr, write: bool) {
+        let c = core.index();
+        if self.l1s[c].touch(pa, write) {
+            return;
+        }
+        if self.l2s[c].touch(pa, write) {
+            return;
+        }
+        self.llc.touch(pa, write);
+    }
+
     /// A cloneable handle onto this system's page tables, for read-only
     /// mapped-ness probes from parallel domain workers. See
     /// [`SharedTables`] for the monotonicity contract.
@@ -241,6 +262,27 @@ impl MemorySystem {
     /// unmapped.
     pub fn translate(&self, asid: Asid, va: VirtAddr) -> Option<(VirtPageNum, PhysPageNum)> {
         self.tables.read().get(&asid)?.walk(va).mapping
+    }
+
+    /// The functional fast-forward translation entry point
+    /// (`SAMPLING.md §2`): maps `va` on first touch at the given page
+    /// size (exactly as the detailed path would) and returns the
+    /// translation as the page tables currently back it — which may be a
+    /// different leaf level than `size` if the region was promoted or
+    /// demoted. No timing, cache, or PWC effects.
+    pub fn resolve_mapped(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        size: PageSize,
+    ) -> (VirtPageNum, PhysPageNum) {
+        if let Some(mapping) = self.translate(asid, va) {
+            return mapping;
+        }
+        self.ensure_mapped(asid, va, size);
+        self.translate(asid, va)
+            // nocstar-lint: allow(sim-unwrap): just mapped above; mappings are monotone
+            .expect("ensure_mapped leaves the address translated")
     }
 
     /// Remaps a page to a fresh frame; returns the new frame if mapped.
@@ -378,6 +420,29 @@ mod tests {
         let (vpn, ppn) = mem.translate(asid, va).unwrap();
         assert_eq!(ppn, f1);
         assert_eq!(vpn, va.page_number(PageSize::Size4K));
+    }
+
+    #[test]
+    fn resolve_mapped_demand_maps_and_honors_promotions() {
+        let mut mem = system(1);
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x9_0000);
+        let (vpn, ppn) = mem.resolve_mapped(asid, va, PageSize::Size4K);
+        assert_eq!(vpn, va.page_number(PageSize::Size4K));
+        assert_eq!(mem.translate(asid, va).unwrap(), (vpn, ppn));
+        // After promotion, resolution follows the tables' 2M leaf even
+        // when asked at 4K granularity.
+        let v2m = VirtAddr::new(0x20_0000).page_number(PageSize::Size2M);
+        for i in 0..512u64 {
+            mem.ensure_mapped(
+                asid,
+                VirtAddr::new((v2m.to_base_pages() + i) << 12),
+                PageSize::Size4K,
+            );
+        }
+        mem.promote(asid, v2m).unwrap();
+        let (vpn2, _) = mem.resolve_mapped(asid, VirtAddr::new(0x20_3000), PageSize::Size4K);
+        assert_eq!(vpn2.page_size(), PageSize::Size2M);
     }
 
     #[test]

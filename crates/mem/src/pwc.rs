@@ -57,14 +57,30 @@ impl PteCache {
 
     /// Looks up the PTE at `pa`, filling on miss; returns whether it hit.
     pub fn access(&mut self, pa: PhysAddr) -> bool {
+        let hit = self.lookup_fill(pa);
+        if hit {
+            self.stats.hit();
+        } else {
+            self.stats.miss();
+        }
+        hit
+    }
+
+    /// [`access`](Self::access) without statistics: fills, evicts and
+    /// updates recency identically but records no hit or miss — the
+    /// functional-warming entry point for sampled fast-forward replay
+    /// (`SAMPLING.md §2`).
+    pub fn touch(&mut self, pa: PhysAddr) -> bool {
+        self.lookup_fill(pa)
+    }
+
+    fn lookup_fill(&mut self, pa: PhysAddr) -> bool {
         let key = pa.value() / 8;
         self.clock += 1;
         if let Some(i) = self.keys.iter().position(|&k| k == key) {
             self.stamps[i] = self.clock;
-            self.stats.hit();
             return true;
         }
-        self.stats.miss();
         if self.keys.len() < self.capacity {
             self.keys.push(key);
             self.stamps.push(self.clock);
@@ -124,6 +140,18 @@ mod tests {
         let mut pwc = PteCache::new(4);
         pwc.access(PhysAddr::new(0x0));
         assert!(!pwc.access(PhysAddr::new(0x8)));
+    }
+
+    #[test]
+    fn touch_fills_without_statistics() {
+        let mut pwc = PteCache::new(4);
+        let pte = PhysAddr::new(0x8);
+        assert!(!pwc.touch(pte));
+        assert!(pwc.touch(pte));
+        assert_eq!(pwc.stats().hits() + pwc.stats().misses(), 0);
+        // The touched entry is genuinely resident for later timed walks.
+        assert!(pwc.access(pte));
+        assert_eq!(pwc.stats().hits(), 1);
     }
 
     #[test]

@@ -179,6 +179,32 @@ impl MemorySystem {
         self.pwc_hits_per_walk.record(pwc_hits);
         result
     }
+
+    /// Functional warming of the walk-side state (`SAMPLING.md §2`):
+    /// touches the PWC for the upper-level PTEs and the cache hierarchy
+    /// for every PTE read that would leave it, filling exactly as a
+    /// [`WalkLatency::Variable`] [`walk`](Self::walk) would, but recording
+    /// no latency or hit/miss statistics. Unmapped addresses are ignored
+    /// — fast-forward resolves the mapping before warming.
+    pub fn warm_walk(&mut self, core: CoreId, asid: Asid, va: VirtAddr) {
+        let outcome = {
+            let tables = self.tables_read();
+            match tables.get(&asid) {
+                Some(table) => table.walk(va),
+                None => return,
+            }
+        };
+        if outcome.mapping.is_none() || outcome.pte_addrs.is_empty() {
+            return;
+        }
+        let leaf = outcome.pte_addrs.len() - 1;
+        for (level, pa) in outcome.pte_addrs.iter().enumerate() {
+            if level < leaf && self.pwc_mut(core).touch(*pa) {
+                continue;
+            }
+            self.warm_access(core, *pa, false);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -314,6 +340,51 @@ mod tests {
         assert_eq!(spiked.latency, Cycles::new(160));
         // The recorded walk-latency distribution reflects the spike.
         assert_eq!(mem.walk_latency_histogram().max(), Some(160));
+    }
+
+    #[test]
+    fn warm_walk_leaves_the_state_a_real_walk_would() {
+        let mut mem = system();
+        let asid = Asid::new(1);
+        let va = VirtAddr::new(0x1234_5000);
+        mem.ensure_mapped(asid, va, PageSize::Size4K);
+        mem.warm_walk(CoreId::new(0), asid, va);
+        // No statistics were recorded by the warming pass...
+        assert_eq!(mem.walk_latency_histogram().count(), 0);
+        assert_eq!(mem.cache_stats().0.accesses(), 0);
+        // ...yet a subsequent timed walk sees exactly the warm state a
+        // prior real walk would have left: PWC upper levels, L1 leaf.
+        let warm = mem.walk(CoreId::new(0), asid, va);
+        assert_eq!(
+            warm.pte_reads,
+            vec![
+                ServicedBy::Pwc,
+                ServicedBy::Pwc,
+                ServicedBy::Pwc,
+                ServicedBy::L1
+            ]
+        );
+    }
+
+    #[test]
+    fn warm_walk_ignores_unmapped_addresses() {
+        let mut mem = system();
+        let asid = Asid::new(1);
+        mem.ensure_mapped(asid, VirtAddr::new(0x1000), PageSize::Size4K);
+        mem.warm_walk(CoreId::new(0), asid, VirtAddr::new(0xdead_0000));
+        mem.warm_walk(CoreId::new(0), Asid::new(99), VirtAddr::new(0x1000));
+        assert_eq!(mem.cache_stats().0.accesses(), 0);
+    }
+
+    #[test]
+    fn warm_access_fills_without_statistics() {
+        let mut mem = system();
+        let core = CoreId::new(0);
+        let pa = nocstar_types::PhysAddr::new(0x4000);
+        mem.warm_access(core, pa, false);
+        assert_eq!(mem.cache_stats().0.accesses(), 0);
+        let hit = mem.access(core, pa, false);
+        assert_eq!(hit.serviced_by, ServicedBy::L1);
     }
 
     #[test]

@@ -212,6 +212,26 @@ impl NocStats {
         *self = Self::with_links(links);
     }
 
+    /// Accumulates another window's counters into this one (used when
+    /// sampled replay merges per-window network statistics,
+    /// `SAMPLING.md §4`). Link-busy vectors are summed elementwise; if
+    /// the lengths differ (e.g. one side defaulted to zero links) the
+    /// longer vector wins and the shorter one is added into its prefix.
+    pub fn merge(&mut self, other: &Self) {
+        self.latency.merge(&other.latency);
+        self.no_contention += other.no_contention;
+        self.delivered += other.delivered;
+        self.retries += other.retries;
+        self.grants += other.grants;
+        self.rotations += other.rotations;
+        if self.link_busy.len() < other.link_busy.len() {
+            self.link_busy.resize(other.link_busy.len(), 0);
+        }
+        for (mine, theirs) in self.link_busy.iter_mut().zip(&other.link_busy) {
+            *mine += theirs;
+        }
+    }
+
     /// Fraction of messages that experienced no contention at all.
     pub fn no_contention_fraction(&self) -> f64 {
         if self.delivered == 0 {

@@ -12,6 +12,8 @@
 //!   histograms) behind `SimReport` observability snapshots.
 //! * [`tracing`] — the opt-in bounded ring buffer for cycle-level event
 //!   traces.
+//! * [`interval`] — Student-t confidence intervals over per-window
+//!   samples from sampled replay (`SAMPLING.md`).
 //! * [`summary`] — min/avg/max and geometric-mean reductions over run results.
 //! * [`table`] — plain-text table rendering used by the bench harness to
 //!   print each figure's rows.
@@ -34,6 +36,7 @@
 pub mod concurrency;
 pub mod counter;
 pub mod histogram;
+pub mod interval;
 pub mod latency;
 pub mod metrics;
 pub mod summary;
@@ -43,6 +46,7 @@ pub mod tracing;
 pub use concurrency::OutstandingTracker;
 pub use counter::{Counter, HitMiss};
 pub use histogram::{ConcurrencyBins, Histogram};
+pub use interval::Interval;
 pub use latency::LatencyRecorder;
 pub use metrics::{Log2Histogram, MetricsRegistry, MetricsSnapshot};
 pub use summary::Summary;

@@ -152,6 +152,20 @@ impl L1Tlb {
         self.t4k.lookup(asid, va.page_number(PageSize::Size4K))
     }
 
+    /// Functional fast-forward lookup (`SAMPLING.md §2`): probes the
+    /// same superpage-first order as [`lookup`](Self::lookup) and
+    /// updates recency in the owning array, but records no hit/miss
+    /// statistics in any array.
+    pub fn touch(&mut self, asid: Asid, va: VirtAddr) -> Option<TlbEntry> {
+        for size in [PageSize::Size1G, PageSize::Size2M] {
+            let vpn = va.page_number(size);
+            if self.array_for(size).probe(asid, vpn).is_some() {
+                return self.array_for_mut(size).touch(asid, vpn);
+            }
+        }
+        self.t4k.touch(asid, va.page_number(PageSize::Size4K))
+    }
+
     /// Inserts a translation into the array of its page size, returning the
     /// evicted entry if any.
     pub fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
@@ -258,6 +272,17 @@ mod tests {
         l1.lookup(asid, VirtAddr::new(0x1_0000)); // miss
         assert_eq!(l1.stats().accesses(), 2);
         assert_eq!(l1.stats().hits(), 1);
+    }
+
+    #[test]
+    fn touch_finds_superpages_without_recording_stats() {
+        let mut l1 = L1Tlb::haswell();
+        let asid = Asid::new(1);
+        l1.insert(entry(1, 5, PageSize::Size2M));
+        let hit = l1.touch(asid, VirtAddr::new(5 * 0x20_0000 + 7)).unwrap();
+        assert_eq!(hit.page_size(), PageSize::Size2M);
+        assert!(l1.touch(asid, VirtAddr::new(0x9999_0000)).is_none());
+        assert_eq!(l1.stats().accesses(), 0);
     }
 
     #[test]

@@ -131,6 +131,22 @@ impl SetAssocTlb {
         }
     }
 
+    /// Looks up a translation, updating recency but recording **no**
+    /// hit/miss statistics — the functional fast-forward entry point
+    /// (`SAMPLING.md §2`): contents and LRU order stay warm while
+    /// measurement statistics stay untouched.
+    pub fn touch(&mut self, asid: Asid, vpn: VirtPageNum) -> Option<TlbEntry> {
+        let set = self.set_index(vpn);
+        let stamp = self.state.tick();
+        self.sets[set]
+            .iter_mut()
+            .find(|w| w.entry.matches(asid, vpn))
+            .map(|way| {
+                way.used = stamp;
+                way.entry
+            })
+    }
+
     /// Looks up a translation without touching recency or statistics
     /// (used by snooping and verification paths).
     pub fn probe(&self, asid: Asid, vpn: VirtPageNum) -> Option<TlbEntry> {
@@ -268,6 +284,21 @@ mod tests {
         assert!(tlb.lookup(Asid::new(1), v4k(101)).is_none());
         assert_eq!(tlb.stats().hits(), 1);
         assert_eq!(tlb.stats().misses(), 1);
+    }
+
+    #[test]
+    fn touch_updates_recency_but_not_stats() {
+        // 4 entries, 2 ways => 2 sets. VPNs 0,2,4 map to set 0.
+        let mut tlb = SetAssocTlb::new(4, 2, ReplacementPolicy::Lru);
+        tlb.insert(e4k(1, 0));
+        tlb.insert(e4k(1, 2));
+        // touch vpn 0 so vpn 2 becomes LRU — same effect as lookup...
+        assert!(tlb.touch(Asid::new(1), v4k(0)).is_some());
+        assert!(tlb.touch(Asid::new(1), v4k(99)).is_none());
+        // ...but without recording any statistics.
+        assert_eq!(tlb.stats().accesses(), 0);
+        let evicted = tlb.insert(e4k(1, 4)).expect("set was full");
+        assert_eq!(evicted.vpn().number(), 2);
     }
 
     #[test]

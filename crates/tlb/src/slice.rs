@@ -181,6 +181,16 @@ impl TlbSlice {
         self.array.lookup(asid, vpn)
     }
 
+    /// Functional fast-forward lookup (`SAMPLING.md §2`): updates
+    /// recency like [`lookup`](Self::lookup) but records no hit/miss
+    /// statistics. Always a miss while the slice is offline.
+    pub fn touch(&mut self, asid: Asid, vpn: VirtPageNum) -> Option<TlbEntry> {
+        if self.offline {
+            return None;
+        }
+        self.array.touch(asid, vpn)
+    }
+
     /// Looks up a virtual address, probing superpage sizes before 4 KiB —
     /// the slice does not know the backing page size in advance.
     pub fn lookup_addr(&mut self, asid: Asid, va: VirtAddr) -> Option<TlbEntry> {
@@ -331,6 +341,22 @@ mod tests {
         assert_eq!(s.array().occupancy(), 1);
         assert!(s.invalidate(asid, vpn));
         assert_eq!(s.array().occupancy(), 0);
+    }
+
+    #[test]
+    fn touch_is_stat_free_and_respects_offline() {
+        let mut s = slice();
+        let asid = Asid::new(1);
+        let vpn = VirtPageNum::new(10, PageSize::Size4K);
+        s.insert(TlbEntry::new(
+            asid,
+            vpn,
+            PhysPageNum::new(1, PageSize::Size4K),
+        ));
+        assert!(s.touch(asid, vpn).is_some());
+        assert_eq!(s.array().stats().accesses(), 0);
+        s.set_offline(true);
+        assert!(s.touch(asid, vpn).is_none(), "offline touches miss");
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! * `convert` — translate between the JSON interchange format
 //!   (`RecordedTrace`) and NCT, in either direction (by file extension).
 //! * `inspect` — print header fields plus per-thread event breakdown,
-//!   footprint, page-size split and exact reuse-distance statistics.
+//!   footprint, page-size split and exact reuse-distance statistics;
+//!   `--windows <n>` adds a per-window footprint/reuse table (windows of
+//!   `n` accesses) for sanity-checking sampled-replay window placement
+//!   against trace phase behaviour (`SAMPLING.md §7`).
 //!
 //! Exit codes: 2 for usage errors, 1 for runtime failures (I/O, corrupt
 //! files), 0 on success.
@@ -30,12 +33,13 @@ USAGE:
                          [--asid <u16>] [--no-thp] [--label <text>]
     nocstar-trace convert <in.{json|nct}> <out.{nct|json}>
                          [--thread <i>] [--label <text>]
-    nocstar-trace inspect <file.nct>
+    nocstar-trace inspect <file.nct> [--windows <accesses>]
 
 Defaults: --threads 1, --events 10000, --seed 0xcafe, --asid 1, THP on,
 label = preset name. `--seed` accepts decimal or 0x-prefixed hex.
 Conversion direction follows the file extensions; NCT -> JSON needs
---thread when the file holds more than one stream.";
+--thread when the file holds more than one stream. `inspect --windows n`
+adds a per-window footprint/reuse table over windows of n accesses.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -222,10 +226,17 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
-    let pos = positionals(args, &[]);
+    let pos = positionals(args, &["--windows"]);
     let [path] = pos.as_slice() else {
         usage("inspect needs exactly one path: <file.nct>");
     };
+    let windows = flag_value(args, "--windows").map(|v| {
+        let n = parse_u64(&v).unwrap_or_else(|e| usage(&format!("bad --windows value {v:?}: {e}")));
+        if n == 0 {
+            usage("--windows must be at least 1 access");
+        }
+        n
+    });
     let file = NctFile::load(path).map_err(|e| e.to_string())?;
     let bytes = std::fs::metadata(path).map_err(|e| e.to_string())?.len();
     println!("file:    {path} ({bytes} bytes)");
@@ -258,8 +269,93 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
                 r.mean, r.p50, r.max, r.cold
             ),
         }
+        if let Some(per_window) = windows {
+            println!("  windows of {per_window} accesses:");
+            println!("    window  events  accesses  distinct_4k  new_4k  reuse%");
+            for (w, win) in window_summaries(&stream.events, per_window)
+                .iter()
+                .enumerate()
+            {
+                println!(
+                    "    {w:<6}  {:<6}  {:<8}  {:<11}  {:<6}  {:.1}",
+                    win.events,
+                    win.accesses,
+                    win.distinct,
+                    win.new_pages,
+                    100.0 * win.reused as f64 / win.accesses.max(1) as f64,
+                );
+            }
+        }
     }
     Ok(())
+}
+
+/// One `inspect --windows` row: the footprint and reuse behaviour of a
+/// window of consecutive accesses, for sanity-checking sampled-replay
+/// window placement against trace phases (`SAMPLING.md §7`).
+struct WindowSummary {
+    /// All events that fell in the window (accesses plus OS events).
+    events: u64,
+    /// Memory accesses (the window boundary unit; the final window may be
+    /// shorter than the requested size).
+    accesses: u64,
+    /// Distinct 4K pages touched within the window.
+    distinct: u64,
+    /// Pages whose *first touch in the whole stream* is in this window —
+    /// growth of the cold footprint.
+    new_pages: u64,
+    /// Accesses to a page already touched earlier in the same window —
+    /// the window's intra-window locality.
+    reused: u64,
+}
+
+/// Splits a thread stream into consecutive windows of `per_window`
+/// accesses (OS events ride with the window they fall in) and summarises
+/// each; a final partial window is included when the stream length is not
+/// a multiple.
+fn window_summaries(events: &[TraceEvent], per_window: u64) -> Vec<WindowSummary> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut in_window = std::collections::BTreeSet::new();
+    let mut cur = WindowSummary {
+        events: 0,
+        accesses: 0,
+        distinct: 0,
+        new_pages: 0,
+        reused: 0,
+    };
+    for ev in events {
+        cur.events += 1;
+        if let TraceEvent::Access(a) = ev {
+            cur.accesses += 1;
+            let page = a.va.value() >> PageSize::Size4K.shift();
+            if seen.insert(page) {
+                cur.new_pages += 1;
+            }
+            if !in_window.insert(page) {
+                cur.reused += 1;
+            }
+            if cur.accesses == per_window {
+                cur.distinct = in_window.len() as u64;
+                in_window.clear();
+                out.push(std::mem::replace(
+                    &mut cur,
+                    WindowSummary {
+                        events: 0,
+                        accesses: 0,
+                        distinct: 0,
+                        new_pages: 0,
+                        reused: 0,
+                    },
+                ));
+            }
+        }
+    }
+    if cur.events > 0 {
+        cur.distinct = in_window.len() as u64;
+        out.push(cur);
+    }
+    out
 }
 
 fn human_bytes(n: u64) -> String {
@@ -483,6 +579,48 @@ mod tests {
     fn human_bytes_picks_sane_units() {
         assert_eq!(human_bytes(80), "80 B");
         assert_eq!(human_bytes(2 * 1024 * 1024), "2.00 MiB");
+    }
+
+    #[test]
+    fn window_summaries_track_footprint_growth_and_reuse() {
+        use nocstar_types::time::Cycles;
+        use nocstar_types::VirtAddr;
+        use nocstar_workloads::trace::MemAccess;
+        let access = |page: u64| {
+            TraceEvent::Access(MemAccess {
+                va: VirtAddr::new(page << 12),
+                is_write: false,
+                gap: Cycles::new(1),
+            })
+        };
+        // Window 0: pages A B A (distinct 2, new 2, reused 1, + one OS event).
+        // Window 1: pages B C (partial; distinct 2, new 1 — B is stream-old
+        // but window-fresh, so not reused).
+        let events = [
+            access(10),
+            TraceEvent::ContextSwitch,
+            access(20),
+            access(10),
+            access(20),
+            access(30),
+        ];
+        let wins = window_summaries(&events, 3);
+        assert_eq!(wins.len(), 2);
+        assert_eq!(wins[0].events, 4);
+        assert_eq!(wins[0].accesses, 3);
+        assert_eq!(wins[0].distinct, 2);
+        assert_eq!(wins[0].new_pages, 2);
+        assert_eq!(wins[0].reused, 1);
+        assert_eq!(wins[1].events, 2);
+        assert_eq!(wins[1].accesses, 2);
+        assert_eq!(wins[1].distinct, 2);
+        assert_eq!(wins[1].new_pages, 1);
+        assert_eq!(wins[1].reused, 0);
+    }
+
+    #[test]
+    fn window_summaries_of_an_empty_stream_are_empty() {
+        assert!(window_summaries(&[], 5).is_empty());
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! * [`file_trace`] — streaming NCT replay with bounded memory.
 //! * [`microbench`] — the TLB-storm and slice-hammer stress tests (§V).
 //! * [`multiprog`] — the 330 four-app multiprogrammed mixes (Fig 18).
+//! * [`sample`] — the sampled-replay window-placement spec
+//!   ([`SampleSpec`], normative spec: `SAMPLING.md`).
 //!
 //! # Examples
 //!
@@ -47,6 +49,7 @@ pub mod multiprog;
 pub mod nct;
 pub mod preset;
 pub mod recorded;
+pub mod sample;
 pub mod spec;
 pub mod trace;
 pub mod zipf;
@@ -55,5 +58,6 @@ pub use file_trace::FileTrace;
 pub use generator::SyntheticTrace;
 pub use nct::{NctError, NctFile};
 pub use preset::Preset;
+pub use sample::SampleSpec;
 pub use spec::WorkloadSpec;
 pub use trace::{MemAccess, TraceEvent, TraceSource};

@@ -71,11 +71,13 @@ pub mod prelude {
     pub use nocstar_core::assignment::WorkloadAssignment;
     pub use nocstar_core::config::{MonolithicNet, SystemConfig, TlbOrg, WalkPolicy};
     pub use nocstar_core::report::SimReport;
+    pub use nocstar_core::sampling::{MetricEstimate, SamplingReport};
     pub use nocstar_core::sim::{SimAbort, Simulation};
     pub use nocstar_faults::{FaultPlan, RecoveryPolicy, SimError};
     pub use nocstar_mem::walker::WalkLatency;
     pub use nocstar_noc::circuit::AcquireMode;
     pub use nocstar_noc::hier::{InterKind, IntraKind};
+    pub use nocstar_stats::interval::Interval;
     pub use nocstar_stats::summary::Summary;
     pub use nocstar_stats::table::Table;
     pub use nocstar_tlb::prefetch::PrefetchDepth;
@@ -87,5 +89,6 @@ pub mod prelude {
     pub use nocstar_workloads::nct::{NctError, NctFile};
     pub use nocstar_workloads::preset::Preset;
     pub use nocstar_workloads::recorded::RecordedTrace;
+    pub use nocstar_workloads::sample::SampleSpec;
     pub use nocstar_workloads::spec::WorkloadSpec;
 }
